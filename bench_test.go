@@ -1,0 +1,388 @@
+package p2ppool_test
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (at reduced repetition counts; cmd/experiments
+// runs the full-size versions) and additionally benchmarks the core
+// algorithms in isolation. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Figure-level benches report the measured headline quantity through
+// b.ReportMetric so regressions in result quality are as visible as
+// regressions in speed.
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2ppool"
+	"p2ppool/internal/alm"
+	"p2ppool/internal/coords"
+	"p2ppool/internal/dht"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/experiments"
+	"p2ppool/internal/ids"
+	"p2ppool/internal/netmodel"
+	"p2ppool/internal/somo"
+	"p2ppool/internal/stats"
+	"p2ppool/internal/topology"
+	"p2ppool/internal/transport"
+)
+
+// BenchmarkFig4Coordinates regenerates the Figure 4 coordinate-accuracy
+// experiment (GNP 16/32 vs leafset 16/32) and reports the Leafset-32
+// median relative error.
+func BenchmarkFig4Coordinates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(experiments.Fig4Options{
+			Hosts: 600, Pairs: 1500, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range res.Series {
+			if s.Name == "Leafset-32" {
+				b.ReportMetric(stats.Median(s.Errors), "medianRelErr")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5Bandwidth regenerates the Figure 5 bottleneck-bandwidth
+// estimation sweep and reports the uplink error at leafset 32.
+func BenchmarkFig5Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(experiments.Fig5Options{
+			Hosts: 1200, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.LeafsetSize == 32 {
+				b.ReportMetric(row.AvgUpError, "upRelErr@32")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8SingleSession regenerates the Figure 8 single-session
+// improvement study (reduced runs) and reports Critical+adjust and
+// Leafset+adjust improvements at group size 20.
+func BenchmarkFig8SingleSession(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(experiments.Fig8Options{
+			Hosts: 1200, GroupSizes: []int{20, 100}, Runs: 3, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].CriticalAdj, "critAdj@20")
+		b.ReportMetric(res.Rows[0].LeafsetAdj, "leafAdj@20")
+	}
+}
+
+// BenchmarkFig10Multisession regenerates the Figure 10 market-driven
+// multi-session study (reduced sweep) and reports the priority-1
+// improvement under the heaviest competition.
+func BenchmarkFig10Multisession(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(experiments.Fig10Options{
+			Hosts: 1200, SessionCounts: []int{20, 60}, Runs: 2, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Improvement[1], "prio1Imp@60")
+		b.ReportMetric(last.Helpers[1]-last.Helpers[3], "helperGap1v3")
+	}
+}
+
+// BenchmarkSOMOAggregation regenerates the Section 3.2 SOMO study and
+// reports the unsynchronized gather staleness at 256 nodes, fanout 8.
+func BenchmarkSOMOAggregation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SOMOExperiment(experiments.SOMOOptions{
+			Sizes: []int{256}, Fanouts: []int{8}, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Staleness, "unsyncStalenessMs")
+	}
+}
+
+// BenchmarkChurnRecovery runs the SOMO self-healing study and reports
+// the recovery time after a 15% mass crash.
+func BenchmarkChurnRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Churn(experiments.ChurnOptions{
+			Nodes: 96, CrashFractions: []float64{0.15}, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows[0].Recovered {
+			b.ReportMetric(res.Rows[0].RecoverySeconds, "recoverySec")
+		}
+	}
+}
+
+// BenchmarkAblationRadius runs the radius-sweep ablation.
+func BenchmarkAblationRadius(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablations(experiments.AblationOptions{
+			Hosts: 600, GroupSize: 20, Runs: 3, Seed: int64(i + 1),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- core-algorithm micro-benchmarks ---
+
+func benchPool(b *testing.B, hosts int) *p2ppool.Pool {
+	b.Helper()
+	top := topology.DefaultConfig()
+	top.Hosts = hosts
+	pool, err := p2ppool.New(p2ppool.Options{Topology: top, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pool
+}
+
+// BenchmarkAMCast measures the baseline greedy planner at group 100.
+func BenchmarkAMCast(b *testing.B) {
+	pool := benchPool(b, 600)
+	r := rand.New(rand.NewSource(1))
+	perm := r.Perm(600)
+	p := alm.Problem{
+		Root: perm[0], Members: perm[1:100],
+		Latency: pool.TrueLatency, Degree: pool.DegreeBound,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alm.AMCast(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanWithHelpers measures the critical-node planner with the
+// whole pool as candidates.
+func BenchmarkPlanWithHelpers(b *testing.B) {
+	pool := benchPool(b, 600)
+	r := rand.New(rand.NewSource(2))
+	perm := r.Perm(600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.PlanSession(perm[0], perm[1:20], p2ppool.PlanOptions{
+			Mode: p2ppool.Critical,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdjust measures the tree-improvement pass on a 100-node tree.
+func BenchmarkAdjust(b *testing.B) {
+	pool := benchPool(b, 600)
+	r := rand.New(rand.NewSource(3))
+	perm := r.Perm(600)
+	base, err := pool.PlanSession(perm[0], perm[1:100], p2ppool.PlanOptions{NoHelpers: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := base.Clone()
+		alm.Adjust(t, pool.TrueLatency, pool.DegreeBound)
+	}
+}
+
+// BenchmarkLeafsetCoordinates measures the distributed coordinate solve
+// at 600 hosts.
+func BenchmarkLeafsetCoordinates(b *testing.B) {
+	top := topology.DefaultConfig()
+	top.Hosts = 600
+	net, err := topology.Generate(top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nb := ringNeighborsBench(600, 32, rand.New(rand.NewSource(int64(i))))
+		if _, err := coords.SolveLeafset(net.Latency, 600, nb, coords.LeafsetConfig{
+			Dim: 7, Rounds: 5, Seed: int64(i), Core: 33,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGNPCoordinates measures the landmark-based solve.
+func BenchmarkGNPCoordinates(b *testing.B) {
+	top := topology.DefaultConfig()
+	top.Hosts = 600
+	net, err := topology.Generate(top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	landmarks := make([]int, 16)
+	for i := range landmarks {
+		landmarks[i] = i * 37
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coords.SolveGNP(net.Latency, 600, landmarks, coords.GNPConfig{
+			Dim: 7, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDHTRouting measures routed-message throughput through a
+// 256-node ring with warm finger tables.
+func BenchmarkDHTRouting(b *testing.B) {
+	engine := eventsim.New(1)
+	net := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, c int) float64 { return 5 },
+	})
+	r := rand.New(rand.NewSource(4))
+	idList := dht.RandomIDs(256, r)
+	addrs := make([]transport.Addr, 256)
+	for i := range addrs {
+		addrs[i] = transport.Addr(i)
+	}
+	nodes, err := dht.BuildRing(net, idList, addrs, dht.Config{
+		LeafsetRadius: 8, FixFingersInterval: 200,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine.RunUntil(2 * eventsim.Minute)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes[i%256].Route(ids.Random(r), 64, "bench")
+		if i%1024 == 1023 {
+			// Drain in-flight routing (the ring's periodic timers never
+			// drain, so advance bounded virtual time instead of Run(0)).
+			engine.RunUntil(engine.Now() + 10*eventsim.Second)
+		}
+	}
+	engine.RunUntil(engine.Now() + 10*eventsim.Second)
+}
+
+// BenchmarkSOMOGatherRound measures one full SOMO report wave over a
+// 256-node ring.
+func BenchmarkSOMOGatherRound(b *testing.B) {
+	engine := eventsim.New(2)
+	net := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, c int) float64 { return 5 },
+	})
+	r := rand.New(rand.NewSource(5))
+	idList := dht.RandomIDs(256, r)
+	addrs := make([]transport.Addr, 256)
+	for i := range addrs {
+		addrs[i] = transport.Addr(i)
+	}
+	nodes, err := dht.BuildRing(net, idList, addrs, dht.Config{LeafsetRadius: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, nd := range nodes {
+		i := i
+		somo.NewAgent(nd, somo.Config{ReportInterval: eventsim.Second}, func() interface{} { return i })
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.RunUntil(engine.Now() + eventsim.Second)
+	}
+}
+
+// BenchmarkPacketPairEstimation measures a full analytic estimation
+// round over 1200 hosts at leafset 32.
+func BenchmarkPacketPairEstimation(b *testing.B) {
+	m, err := netmodel.New(1200, netmodel.Options{Seed: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nb := ringNeighborsBench(1200, 32, rand.New(rand.NewSource(7)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experimentsBandwidthRound(m, nb)
+	}
+}
+
+// BenchmarkTopologyGenerate measures paper-scale topology generation
+// including all-pairs router shortest paths.
+func BenchmarkTopologyGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := topology.DefaultConfig()
+		cfg.Seed = int64(i)
+		if _, err := topology.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerStabilize measures a 30-session market-driven
+// scheduling wave on a 1200-host pool.
+func BenchmarkSchedulerStabilize(b *testing.B) {
+	pool := benchPool(b, 1200)
+	r := rand.New(rand.NewSource(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		perm := r.Perm(1200)
+		sc := pool.NewScheduler(p2ppool.SchedulerConfig{})
+		for s := 0; s < 30; s++ {
+			nodes := perm[s*20 : (s+1)*20]
+			if err := sc.AddSession(&p2ppool.Session{
+				ID:       p2ppool.SessionID(s + 1),
+				Priority: 1 + s%3,
+				Root:     nodes[0],
+				Members:  append([]int(nil), nodes[1:]...),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if _, err := sc.Stabilize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- helpers shared by benches ---
+
+func ringNeighborsBench(n, L int, r *rand.Rand) func(i int) []int {
+	perm := r.Perm(n)
+	posOf := make([]int, n)
+	for pos, h := range perm {
+		posOf[h] = pos
+	}
+	half := L / 2
+	return func(h int) []int {
+		pos := posOf[h]
+		out := make([]int, 0, L)
+		for k := 1; k <= half; k++ {
+			out = append(out, perm[(pos+k)%n], perm[(pos-k+n)%n])
+		}
+		return out
+	}
+}
+
+func experimentsBandwidthRound(m *netmodel.Model, nb func(i int) []int) {
+	// Mirrors bandwidth.EstimateAll's probing pattern.
+	n := m.NumHosts()
+	for x := 0; x < n; x++ {
+		for _, y := range nb(x) {
+			_ = m.PathBottleneck(x, y)
+			_ = m.PathBottleneck(y, x)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Command almplan plans a single ALM session over a freshly built
+// resource pool and prints the resulting multicast tree, its height,
+// and the improvement over the AMCast baseline — the Figure 1 story as
+// a command line tool.
+//
+// Usage:
+//
+//	almplan -group 20 -mode leafset -adjust
+//	almplan -group 12 -mode critical -radius 150 -seed 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"p2ppool"
+	"p2ppool/internal/topology"
+)
+
+func main() {
+	var (
+		hosts  = flag.Int("hosts", 1200, "pool population")
+		group  = flag.Int("group", 20, "session size including the root")
+		seed   = flag.Int64("seed", 1, "seed for pool and member choice")
+		mode   = flag.String("mode", "leafset", "helper latency knowledge: critical, leafset, none")
+		radius = flag.Float64("radius", 100, "helper admission radius R (ms)")
+		adjust = flag.Bool("adjust", true, "apply tree-improvement moves")
+	)
+	flag.Parse()
+
+	top := topology.DefaultConfig()
+	top.Hosts = *hosts
+	top.Seed = *seed
+	fmt.Fprintln(os.Stderr, "building pool (topology, coordinates, bandwidth estimates)...")
+	pool, err := p2ppool.New(p2ppool.Options{Topology: top, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	r := rand.New(rand.NewSource(*seed + 100))
+	perm := r.Perm(*hosts)
+	root, members := perm[0], perm[1:*group]
+
+	opt := p2ppool.PlanOptions{Radius: *radius, Adjust: *adjust}
+	switch *mode {
+	case "critical":
+		opt.Mode = p2ppool.Critical
+	case "leafset":
+		opt.Mode = p2ppool.Leafset
+	case "none":
+		opt.NoHelpers = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	base, err := pool.PlanSession(root, members, p2ppool.PlanOptions{NoHelpers: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	tree, err := pool.PlanSession(root, members, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	memberSet := map[int]bool{root: true}
+	for _, m := range members {
+		memberSet[m] = true
+	}
+	fmt.Printf("session: root=%d members=%d pool=%d mode=%s adjust=%v R=%.0f\n\n",
+		root, len(members), *hosts, *mode, *adjust, *radius)
+	printTree(pool, tree, memberSet)
+
+	hBase := base.MaxHeight(pool.TrueLatency)
+	h := tree.MaxHeight(pool.TrueLatency)
+	fmt.Printf("\nAMCast baseline height: %.1f ms\n", hBase)
+	fmt.Printf("planned height:         %.1f ms\n", h)
+	fmt.Printf("improvement:            %.1f%%\n", 100*p2ppool.Improvement(hBase, h))
+	fmt.Printf("helpers recruited:      %d\n", tree.Size()-*group)
+}
+
+// printTree renders the tree depth-first with per-node annotations.
+func printTree(pool *p2ppool.Pool, t *p2ppool.Tree, member map[int]bool) {
+	var walk func(v int, prefix string)
+	walk = func(v int, prefix string) {
+		kind := "member"
+		if v == t.Root {
+			kind = "root"
+		} else if !member[v] {
+			kind = "HELPER"
+		}
+		h := t.Heights(pool.TrueLatency)[v]
+		fmt.Printf("%s%d (%s, degree %d/%d, height %.1f ms)\n",
+			prefix, v, kind, t.Degree(v), pool.DegreeBound(v), h)
+		children := append([]int(nil), t.Children(v)...)
+		sort.Ints(children)
+		for _, c := range children {
+			walk(c, prefix+strings.Repeat(" ", 2)+"- ")
+		}
+	}
+	walk(t.Root, "")
+}

@@ -1,0 +1,135 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures. Each figure prints as an aligned text table (optionally
+// also CSV files) whose rows/series correspond to what the paper
+// plots; the note under each table records the paper's expected shape.
+//
+// Usage:
+//
+//	experiments -fig all                 # everything, full size
+//	experiments -fig 8 -runs 5           # Figure 8 with 5 runs/size
+//	experiments -fig 10 -seed 7          # Figure 10, different seed
+//	experiments -fig 4 -csv out/         # also write CSV files
+//
+// Figures: 4 (coordinates), 5 (bandwidth), 8 (single-session ALM),
+// 10 (multi-session market scheduling), somo (Section 3.2 aggregation
+// study), ablations (design-choice studies).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"p2ppool/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, ablations, all")
+		seed   = flag.Int64("seed", 1, "experiment seed (same seed => identical output)")
+		runs   = flag.Int("runs", 0, "override repetition count (0 = experiment default)")
+		hosts  = flag.Int("hosts", 0, "override pool size (0 = paper default 1200)")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	want := strings.Split(*fig, ",")
+	has := func(k string) bool {
+		for _, w := range want {
+			if w == k || w == "all" {
+				return true
+			}
+		}
+		return false
+	}
+
+	var results []experiments.Result
+	run := func(name string, f func() (experiments.Result, error)) {
+		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		res, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+	}
+
+	if has("4") {
+		run("figure 4", func() (experiments.Result, error) {
+			return experiments.Fig4(experiments.Fig4Options{Hosts: *hosts, Seed: *seed})
+		})
+	}
+	if has("5") {
+		run("figure 5", func() (experiments.Result, error) {
+			return experiments.Fig5(experiments.Fig5Options{Hosts: *hosts, Seed: *seed})
+		})
+	}
+	if has("8") {
+		run("figure 8", func() (experiments.Result, error) {
+			return experiments.Fig8(experiments.Fig8Options{Hosts: *hosts, Runs: *runs, Seed: *seed})
+		})
+	}
+	if has("10") || has("10a") || has("10b") {
+		run("figure 10", func() (experiments.Result, error) {
+			return experiments.Fig10(experiments.Fig10Options{Hosts: *hosts, Runs: *runs, Seed: *seed})
+		})
+	}
+	if has("somo") {
+		run("somo study", func() (experiments.Result, error) {
+			return experiments.SOMOExperiment(experiments.SOMOOptions{Seed: *seed})
+		})
+	}
+	if has("qos") {
+		run("qos comparison", func() (experiments.Result, error) {
+			return experiments.QoS(experiments.QoSOptions{Hosts: *hosts, Runs: *runs, Seed: *seed})
+		})
+	}
+	if has("churn") {
+		run("churn study", func() (experiments.Result, error) {
+			return experiments.Churn(experiments.ChurnOptions{Nodes: *hosts, Seed: *seed})
+		})
+	}
+	if has("ablations") {
+		run("ablations", func() (experiments.Result, error) {
+			return experiments.Ablations(experiments.AblationOptions{Hosts: *hosts, Runs: *runs, Seed: *seed})
+		})
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, ablations, all)\n", *fig)
+		os.Exit(2)
+	}
+
+	for _, res := range results {
+		for _, tab := range res.Tables() {
+			fmt.Println(tab.String())
+			if *csvDir != "" {
+				name := sanitize(tab.Title) + ".csv"
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*csvDir, name)
+				if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
+		}
+	}
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == ':' || r == '/':
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,134 @@
+// Command poolmon is the LiquidEye-style monitor of Section 3.2: it
+// runs a live pool — DHT heartbeats, SOMO gather flows, coordinate
+// estimators, packet-pair probers all executing on real goroutines and
+// wall-clock timers — and periodically prints the system status
+// gathered at the SOMO root, exactly the "global performance monitor"
+// view the paper's tool shows.
+//
+// Usage:
+//
+//	poolmon -nodes 48 -interval 500ms -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"p2ppool/internal/alm"
+	"p2ppool/internal/coords"
+	"p2ppool/internal/dht"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/somo"
+	"p2ppool/internal/transport"
+)
+
+type status struct {
+	Host  int
+	Coord coords.Vector
+	Deg   int
+}
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 32, "pool population")
+		interval = flag.Duration("interval", 500*time.Millisecond, "monitor refresh interval")
+		duration = flag.Duration("duration", 8*time.Second, "how long to run")
+		seed     = flag.Int64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	live := transport.NewLive(nil, *seed)
+	defer live.Close()
+
+	r := rand.New(rand.NewSource(*seed))
+	idList := dht.RandomIDs(*nodes, r)
+	degrees := alm.PaperDegrees(*nodes, r)
+	addrs := make([]transport.Addr, *nodes)
+	for i := range addrs {
+		addrs[i] = transport.Addr(i)
+	}
+
+	var ring []*dht.Node
+	var agents []*somo.Agent
+	live.Run(func() {
+		var err error
+		ring, err = dht.BuildRing(live, idList, addrs, dht.Config{
+			LeafsetRadius:     4,
+			HeartbeatInterval: 100 * eventsim.Millisecond,
+			FailureTimeout:    600 * eventsim.Millisecond,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i, nd := range ring {
+			host := i
+			est := coords.NewEstimator(nd, coords.EstimatorOptions{Dim: 3, Seed: int64(host)})
+			agents = append(agents, somo.NewAgent(nd, somo.Config{
+				Fanout:         8,
+				ReportInterval: 200 * eventsim.Millisecond,
+			}, func() interface{} {
+				return status{Host: host, Coord: est.Coord(), Deg: degrees[host]}
+			}))
+		}
+	})
+
+	fmt.Printf("poolmon: %d nodes, SOMO fanout 8, reporting every %v\n\n", *nodes, *interval)
+	deadline := time.Now().Add(*duration)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for now := range tick.C {
+		if now.After(deadline) {
+			break
+		}
+		live.Run(func() {
+			var root *somo.Agent
+			for _, a := range agents {
+				if a.IsRoot() {
+					root = a
+					break
+				}
+			}
+			if root == nil {
+				fmt.Println("no SOMO root yet")
+				return
+			}
+			root.Query(func(s somo.Snapshot) {
+				var worst eventsim.Time
+				totalDeg := 0
+				for _, rec := range s.Records {
+					if age := s.Time - rec.Time; age > worst {
+						worst = age
+					}
+					if st, ok := rec.Data.(status); ok {
+						totalDeg += st.Deg
+					}
+				}
+				fmt.Printf("[%6.1fs] root=%v members=%d/%d version=%d worst-staleness=%.0fms total-degree=%d\n",
+					time.Until(deadline).Seconds(), root.Node().Self().ID, len(s.Records), *nodes,
+					s.Version, float64(worst), totalDeg)
+			})
+		})
+	}
+
+	// Crash a node and show the view heal — the paper's cable-pull test.
+	fmt.Println("\ncrashing one node (the paper's unplug test)...")
+	live.Run(func() {
+		ring[0].Stop()
+	})
+	time.Sleep(2 * time.Second)
+	live.Run(func() {
+		for _, a := range agents[1:] {
+			if a.IsRoot() {
+				a.Query(func(s somo.Snapshot) {
+					fmt.Printf("after crash: members=%d/%d (dead node expires from the view)\n",
+						len(s.Records), *nodes)
+				})
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,66 @@
+// Command topostat generates a transit-stub topology and prints its
+// structural and latency statistics — a quick way to sanity-check the
+// underlay the experiments run on, and to explore parameter changes.
+//
+// Usage:
+//
+//	topostat                      # the paper's configuration
+//	topostat -hosts 2400 -seed 7  # a bigger population
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"p2ppool/internal/stats"
+	"p2ppool/internal/topology"
+)
+
+func main() {
+	var (
+		hosts = flag.Int("hosts", 1200, "end systems")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		pairs = flag.Int("pairs", 5000, "latency sample size")
+	)
+	flag.Parse()
+
+	cfg := topology.DefaultConfig()
+	cfg.Hosts = *hosts
+	cfg.Seed = *seed
+	net, err := topology.Generate(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("transit-stub topology (seed %d)\n", *seed)
+	fmt.Printf("  transit routers: %d (%d domains x %d)\n",
+		cfg.NumTransit(), cfg.TransitDomains, cfg.TransitPerDomain)
+	fmt.Printf("  stub routers:    %d (%d domains of %d per transit router)\n",
+		cfg.NumStub(), cfg.StubDomainsPerTransit*cfg.NumTransit(), cfg.StubPerDomain)
+	fmt.Printf("  end systems:     %d\n", net.NumHosts())
+	fmt.Printf("  link latencies:  transit %gms, stub-transit %gms, stub %gms, last hop %g-%gms\n\n",
+		cfg.TransitLatency, cfg.StubTransitLatency, cfg.StubLatency, cfg.LastHopMin, cfg.LastHopMax)
+
+	r := rand.New(rand.NewSource(*seed + 1))
+	var all, sameStub []float64
+	for i := 0; i < *pairs; i++ {
+		a, b := r.Intn(net.NumHosts()), r.Intn(net.NumHosts())
+		if a == b {
+			continue
+		}
+		l := net.Latency(a, b)
+		all = append(all, l)
+		if net.SameStubDomain(a, b) {
+			sameStub = append(sameStub, l)
+		}
+	}
+	fmt.Printf("host-to-host one-way latency (%d sampled pairs):\n", len(all))
+	fmt.Printf("  overall:    %s\n", stats.Summarize(all))
+	if len(sameStub) > 0 {
+		fmt.Printf("  same stub:  %s\n", stats.Summarize(sameStub))
+	}
+	fmt.Printf("  diameter (sampled max): %.1f ms\n", stats.Percentile(all, 100))
+}

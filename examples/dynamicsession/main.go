@@ -1,0 +1,111 @@
+// Dynamicsession exercises the dynamic-membership extension the paper
+// sketches at the start of Section 5 ("the algorithm can be extended
+// to accommodate dynamic membership as well"): a long-running seminar
+// broadcast where listeners join and leave while other sessions come
+// and go around it, and the session replans each time — keeping its
+// helpers when the market allows and shedding them when a
+// higher-priority competitor needs the slots.
+//
+//	go run ./examples/dynamicsession
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"p2ppool"
+	"p2ppool/internal/topology"
+)
+
+func main() {
+	top := topology.DefaultConfig()
+	pool, err := p2ppool.New(p2ppool.Options{Topology: top, Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(32))
+	perm := r.Perm(pool.NumHosts())
+	sc := pool.NewScheduler(p2ppool.SchedulerConfig{})
+
+	// The seminar: priority 2, starts with 8 listeners.
+	seminar := &p2ppool.Session{
+		ID:       p2ppool.SessionID(1),
+		Priority: 2,
+		Root:     perm[0],
+		Members:  append([]int(nil), perm[1:9]...),
+	}
+	if err := sc.AddSession(seminar); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		log.Fatal(err)
+	}
+	report := func(when string) {
+		h := seminar.Tree.MaxHeight(pool.TrueLatency)
+		fmt.Printf("%-34s members=%2d helpers=%d height=%.0fms replans=%d\n",
+			when, len(seminar.Members)+1, seminar.HelperCount(), h, seminar.Replans)
+	}
+	report("seminar starts (8 listeners):")
+
+	// Listeners trickle in.
+	next := 9
+	for i := 0; i < 6; i++ {
+		if err := sc.AddMember(seminar.ID, perm[next]); err != nil {
+			log.Fatal(err)
+		}
+		next++
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		log.Fatal(err)
+	}
+	report("after 6 more listeners join:")
+
+	// A burst of priority-1 video calls grabs pool resources.
+	for i := 0; i < 12; i++ {
+		nodes := perm[100+i*20 : 100+(i+1)*20]
+		if err := sc.AddSession(&p2ppool.Session{
+			ID:       p2ppool.SessionID(10 + i),
+			Priority: 1,
+			Root:     nodes[0],
+			Members:  append([]int(nil), nodes[1:]...),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		log.Fatal(err)
+	}
+	report("12 priority-1 calls arrive:")
+
+	// The calls end; the seminar's periodic reschedule reclaims helpers.
+	for i := 0; i < 12; i++ {
+		sc.RemoveSession(p2ppool.SessionID(10 + i))
+	}
+	sc.Reschedule()
+	if _, err := sc.Stabilize(); err != nil {
+		log.Fatal(err)
+	}
+	report("calls end, periodic replan:")
+
+	// Some listeners drop off.
+	for i := 0; i < 4; i++ {
+		if err := sc.RemoveMember(seminar.ID, seminar.Members[len(seminar.Members)-1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		log.Fatal(err)
+	}
+	report("4 listeners leave:")
+
+	// End-to-end check: actually disseminate a payload over the final
+	// tree; the measured worst delivery equals the planned height.
+	rep, err := pool.SimulateMulticast(seminar.Tree, 1500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal tree delivers to all %d nodes; worst measured delivery %.0f ms "+
+		"(= planned height), %d transmissions\n",
+		seminar.Tree.Size()-1, rep.MaxLatency, rep.Messages)
+}

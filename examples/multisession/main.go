@@ -1,0 +1,103 @@
+// Multisession demonstrates Section 5.3: many concurrent ALM sessions
+// with different priorities competing for one resource pool purely
+// through the market — no global scheduler. Watch priority-1 sessions
+// keep their helpers while priority-3 sessions lose theirs as the pool
+// saturates, and sessions replan when preempted.
+//
+//	go run ./examples/multisession
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"p2ppool"
+	"p2ppool/internal/topology"
+)
+
+func main() {
+	top := topology.DefaultConfig()
+	pool, err := p2ppool.New(p2ppool.Options{Topology: top, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const groupSize = 20
+	r := rand.New(rand.NewSource(9))
+	perm := r.Perm(pool.NumHosts())
+	sc := pool.NewScheduler(p2ppool.SchedulerConfig{})
+
+	// Admit 40 sessions: two thirds of all hosts are session members,
+	// the rest are potential helpers under contention.
+	const nSessions = 40
+	baselines := map[p2ppool.SessionID]float64{}
+	for i := 0; i < nSessions; i++ {
+		nodes := perm[i*groupSize : (i+1)*groupSize]
+		root, members := nodes[0], nodes[1:]
+		base, err := pool.PlanSession(root, members, p2ppool.PlanOptions{NoHelpers: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		id := p2ppool.SessionID(i + 1)
+		baselines[id] = base.MaxHeight(pool.TrueLatency)
+		if err := sc.AddSession(&p2ppool.Session{
+			ID:       id,
+			Priority: 1 + r.Intn(3),
+			Root:     root,
+			Members:  append([]int(nil), members...),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	plans, err := sc.Stabilize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d sessions admitted; market stabilized after %d plan executions\n\n",
+		nSessions, plans)
+
+	// Aggregate per priority class — Figure 10 in miniature.
+	type agg struct {
+		n       int
+		imp     float64
+		helpers float64
+		replans int
+	}
+	byPrio := map[int]*agg{1: {}, 2: {}, 3: {}}
+	for _, s := range sc.Sessions() {
+		h := s.Tree.MaxHeight(pool.TrueLatency)
+		a := byPrio[s.Priority]
+		a.n++
+		a.imp += p2ppool.Improvement(baselines[s.ID], h)
+		a.helpers += float64(s.HelperCount())
+		a.replans += s.Replans
+	}
+	fmt.Println("priority  sessions  avg improvement  avg helpers  replans (preemptions)")
+	for p := 1; p <= 3; p++ {
+		a := byPrio[p]
+		if a.n == 0 {
+			continue
+		}
+		fmt.Printf("%8d  %8d  %14.1f%%  %11.1f  %7d\n",
+			p, a.n, 100*a.imp/float64(a.n), a.helpers/float64(a.n), a.replans)
+	}
+
+	// A high-priority latecomer preempts its way in.
+	fmt.Println("\na priority-1 session arrives late...")
+	nodes := perm[nSessions*groupSize : nSessions*groupSize+groupSize]
+	late := &p2ppool.Session{
+		ID:       p2ppool.SessionID(999),
+		Priority: 1,
+		Root:     nodes[0],
+		Members:  append([]int(nil), nodes[1:]...),
+	}
+	if err := sc.AddSession(late); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("latecomer planned with %d helpers; market re-stabilized\n", late.HelperCount())
+}

@@ -1,0 +1,80 @@
+// Videoconf reproduces the paper's motivating scenario (Section 2.1
+// and Figure 1): an organization with machines spread across the
+// world runs a small video-conference; most machines are idle, and a
+// nearby high-degree idle peer shortens the multicast tree.
+//
+// The example prints both trees so the structural difference — a
+// helper node fanning out in place of a saturated member — is visible.
+//
+//	go run ./examples/videoconf
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"p2ppool"
+	"p2ppool/internal/topology"
+)
+
+func main() {
+	top := topology.DefaultConfig()
+	pool, err := p2ppool.New(p2ppool.Options{Topology: top, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A "branch office" conference: 12 participants. Most of the
+	// paper's degree distribution is degree-2 hosts, so the session is
+	// starved for fan-out exactly as Figure 1(a) shows.
+	r := rand.New(rand.NewSource(3))
+	perm := r.Perm(pool.NumHosts())
+	root, members := perm[0], perm[1:12]
+	memberSet := map[int]bool{root: true}
+	for _, m := range members {
+		memberSet[m] = true
+	}
+
+	base, err := pool.PlanSession(root, members, p2ppool.PlanOptions{NoHelpers: true, Adjust: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	helped, err := pool.PlanSession(root, members, p2ppool.PlanOptions{Mode: p2ppool.Critical, Adjust: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("(a) optimal members-only plan:")
+	printTree(pool, base, memberSet)
+	fmt.Printf("    height %.1f ms\n\n", base.MaxHeight(pool.TrueLatency))
+
+	fmt.Println("(b) plan using idle helpers from the pool (squares in Figure 1):")
+	printTree(pool, helped, memberSet)
+	fmt.Printf("    height %.1f ms, %d helper(s)\n\n",
+		helped.MaxHeight(pool.TrueLatency), helped.Size()-12)
+
+	imp := p2ppool.Improvement(base.MaxHeight(pool.TrueLatency), helped.MaxHeight(pool.TrueLatency))
+	fmt.Printf("helper plan is %.1f%% shorter\n", 100*imp)
+}
+
+func printTree(pool *p2ppool.Pool, t *p2ppool.Tree, member map[int]bool) {
+	heights := t.Heights(pool.TrueLatency)
+	var walk func(v int, depth int)
+	walk = func(v, depth int) {
+		marker := "o" // circle: session member, as in Figure 1
+		if !member[v] {
+			marker = "#" // square: pool helper
+		}
+		fmt.Printf("    %s%s %d (%.1f ms, deg %d/%d)\n",
+			strings.Repeat("  ", depth), marker, v, heights[v], t.Degree(v), pool.DegreeBound(v))
+		ch := append([]int(nil), t.Children(v)...)
+		sort.Ints(ch)
+		for _, c := range ch {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.Root, 0)
+}

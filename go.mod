@@ -1,0 +1,3 @@
+module p2ppool
+
+go 1.22

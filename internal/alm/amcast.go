@@ -1,0 +1,294 @@
+package alm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// HelperSet describes the spare resources a planner may recruit
+// (Section 5.2's critical-node algorithm). A nil/empty set reduces
+// PlanWithHelpers to plain AMCast.
+type HelperSet struct {
+	// Candidates are pool nodes available as helpers (session members
+	// are filtered out automatically).
+	Candidates []int
+	// Radius R: a helper must lie within R (scoring latency) of the
+	// saturating parent — condition 3. The paper finds R in 50–150
+	// effective for its topology.
+	Radius float64
+	// MinDegree is condition 2: a useful helper needs spare fan-out
+	// (the paper uses 4).
+	MinDegree int
+	// ScoreLatency, when set, is the latency knowledge used for
+	// "vicinity judgment" — the radius check and the candidate score
+	// l(h,parent)+max l(h,sib). The paper's Leafset variant judges
+	// vicinity with coordinate estimates while the tree itself is built
+	// on measured latencies (a task manager measures the few candidates
+	// it actually contacts). Nil means use Problem.Latency.
+	ScoreLatency LatencyFunc
+	// VerifyTop only applies when ScoreLatency is set: the task manager
+	// contacts the VerifyTop best-scored candidates, measures them, and
+	// picks the best by measured score among those that truly honor the
+	// radius — rejecting estimate-induced junk (underpredicted far
+	// nodes would otherwise be adversely selected). Default 16.
+	VerifyTop int
+	// RadiusSlack only applies when ScoreLatency is set: the estimated
+	// radius check is relaxed to Radius*RadiusSlack when building the
+	// shortlist, because coordinate schemes systematically overpredict
+	// short distances (nearby nodes share no reference frame); the
+	// measured check at verification still enforces Radius. Default 2.
+	RadiusSlack float64
+	// Scoring selects the candidate-ranking heuristic.
+	Scoring Scoring
+}
+
+// Scoring is the helper-ranking heuristic.
+type Scoring int
+
+const (
+	// ScorePaper is the paper's heuristic: minimize
+	// l(h, parent(u)) + max over future siblings v of l(h, v).
+	ScorePaper Scoring = iota
+	// ScoreNearestParent is the paper's "first variation": simply the
+	// candidate closest to the saturating parent (with adequate
+	// degree). The paper found ScorePaper to yield better trees; the
+	// ablation bench reproduces that comparison.
+	ScoreNearestParent
+)
+
+// DefaultMinDegree is the paper's helper degree requirement.
+const DefaultMinDegree = 4
+
+// AMCast runs the baseline greedy DB-MHT heuristic of Shi et al. [34]
+// (Figure 6 of the paper, without the dashed box): repeatedly absorb
+// the lowest-height unattached member, then re-relax every remaining
+// member's best feasible parent.
+func AMCast(p Problem) (*Tree, error) {
+	return plan(p, HelperSet{})
+}
+
+// PlanWithHelpers runs the critical-node algorithm: AMCast's greedy
+// loop, but when a node is about to take its parent's last free slot, a
+// helper is recruited from the pool to take that slot instead, becoming
+// the node's (and its future siblings') parent. p.Latency is the
+// planning latency — pass coordinate-predicted latency for the paper's
+// "Leafset" variant and the true oracle for "Critical".
+func PlanWithHelpers(p Problem, hs HelperSet) (*Tree, error) {
+	return plan(p, hs)
+}
+
+func plan(p Problem, hs HelperSet) (*Tree, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if hs.MinDegree <= 0 {
+		hs.MinDegree = DefaultMinDegree
+	}
+
+	t := NewTree(p.Root)
+	// height/parent: the planner's working estimate for unattached members.
+	height := make(map[int]float64, len(p.Members))
+	parent := make(map[int]int, len(p.Members))
+	remaining := make(map[int]bool, len(p.Members))
+	for _, m := range p.Members {
+		height[m] = p.Latency(p.Root, m)
+		parent[m] = p.Root
+		remaining[m] = true
+	}
+
+	inSession := make(map[int]bool, len(p.Members)+1)
+	inSession[p.Root] = true
+	for _, m := range p.Members {
+		inSession[m] = true
+	}
+	// Candidate helpers, filtered once.
+	var candidates []int
+	for _, c := range hs.Candidates {
+		if !inSession[c] && p.Degree(c) >= hs.MinDegree {
+			candidates = append(candidates, c)
+		}
+	}
+	sort.Ints(candidates) // deterministic iteration
+
+	// treeHeight tracks the planner's height for nodes in the tree.
+	treeHeight := map[int]float64{p.Root: 0}
+
+	free := func(v int) int { return p.Degree(v) - t.Degree(v) }
+
+	for len(remaining) > 0 {
+		// Find the unattached member with minimum height.
+		u, best := -1, math.Inf(1)
+		for m := range remaining {
+			if height[m] < best || (height[m] == best && (u == -1 || m < u)) {
+				u, best = m, height[m]
+			}
+		}
+		pu := parent[u]
+		if free(pu) <= 0 {
+			// The working parent saturated since the last relaxation
+			// (can happen when a helper insertion consumed slots);
+			// re-relax u before attaching.
+			if ok := relaxOne(u, t, p, treeHeight, height, parent, free); !ok {
+				return nil, fmt.Errorf("alm: no feasible parent for member %d (degree bounds too tight)", u)
+			}
+			pu = parent[u]
+		}
+
+		attached := false
+		if len(candidates) > 0 && free(pu) == 1 {
+			// Critical point: u would take pu's last slot. Try to
+			// recruit a helper to take it instead.
+			if h, ok := findHelper(u, pu, t, p, hs, candidates, remaining, parent, free); ok {
+				if err := t.Attach(h, pu); err != nil {
+					return nil, err
+				}
+				treeHeight[h] = treeHeight[pu] + p.Latency(pu, h)
+				if err := t.Attach(u, h); err != nil {
+					return nil, err
+				}
+				treeHeight[u] = treeHeight[h] + p.Latency(h, u)
+				attached = true
+			}
+		}
+		if !attached {
+			if err := t.Attach(u, pu); err != nil {
+				return nil, err
+			}
+			treeHeight[u] = treeHeight[pu] + p.Latency(pu, u)
+		}
+		delete(remaining, u)
+
+		// Re-relax every remaining member against the grown tree.
+		for v := range remaining {
+			if !relaxOne(v, t, p, treeHeight, height, parent, free) {
+				return nil, fmt.Errorf("alm: no feasible parent for member %d (degree bounds too tight)", v)
+			}
+		}
+	}
+	return t, nil
+}
+
+// relaxOne recomputes v's best feasible attachment point over the
+// current tree. It reports false when no tree node has free degree.
+func relaxOne(v int, t *Tree, p Problem, treeHeight map[int]float64,
+	height map[int]float64, parent map[int]int, free func(int) int) bool {
+	bestH, bestW := math.Inf(1), -1
+	for _, w := range t.Nodes() {
+		if free(w) <= 0 {
+			continue
+		}
+		h := treeHeight[w] + p.Latency(w, v)
+		if h < bestH || (h == bestH && (bestW == -1 || w < bestW)) {
+			bestH, bestW = h, w
+		}
+	}
+	if bestW == -1 {
+		return false
+	}
+	height[v] = bestH
+	parent[v] = bestW
+	return true
+}
+
+// findHelper implements the paper's helper-selection heuristic: among
+// pool candidates within Radius of the saturating parent and with
+// adequate degree, pick the one minimizing
+//
+//	l(h, parent(u)) + max over future siblings v of l(h, v)
+//
+// where the future siblings are the unattached members whose current
+// best parent is parent(u) (they would become h's children).
+func findHelper(u, pu int, t *Tree, p Problem, hs HelperSet,
+	candidates []int, remaining map[int]bool, parent map[int]int, free func(int) int) (int, bool) {
+
+	// Future siblings: u plus every remaining member pointing at pu.
+	sibs := []int{u}
+	for v := range remaining {
+		if v != u && parent[v] == pu {
+			sibs = append(sibs, v)
+		}
+	}
+
+	scoreLat := hs.ScoreLatency
+	if scoreLat == nil {
+		scoreLat = p.Latency
+	}
+	type scored struct {
+		h     int
+		score float64
+	}
+	shortlistRadius := hs.Radius
+	if hs.ScoreLatency != nil {
+		slack := hs.RadiusSlack
+		if slack <= 0 {
+			slack = 2
+		}
+		if slack > 1 {
+			shortlistRadius *= slack
+		}
+	}
+	var pass []scored
+	for _, h := range candidates {
+		if t.Contains(h) || free(h) < hs.MinDegree {
+			continue
+		}
+		lp := scoreLat(h, pu)
+		if shortlistRadius > 0 && lp >= shortlistRadius {
+			continue // condition 3: avoid far-away "junk" nodes
+		}
+		maxSib := 0.0
+		if hs.Scoring == ScorePaper {
+			for _, v := range sibs {
+				if l := scoreLat(h, v); l > maxSib {
+					maxSib = l
+				}
+			}
+		}
+		pass = append(pass, scored{h: h, score: lp + maxSib}) // condition 1
+	}
+	if len(pass) == 0 {
+		return 0, false
+	}
+	sort.Slice(pass, func(i, j int) bool {
+		if pass[i].score != pass[j].score {
+			return pass[i].score < pass[j].score
+		}
+		return pass[i].h < pass[j].h
+	})
+	if hs.ScoreLatency == nil {
+		return pass[0].h, true
+	}
+	// Vicinity was judged on estimates, which only narrows the pool to
+	// a shortlist; the task manager then contacts the shortlisted
+	// candidates (it must talk to a helper to reserve it anyway),
+	// measures them, and picks the best by measured score among those
+	// that truly honor the radius.
+	verify := hs.VerifyTop
+	if verify <= 0 {
+		verify = 16
+	}
+	bestScore, best := math.Inf(1), -1
+	for i := 0; i < len(pass) && i < verify; i++ {
+		h := pass[i].h
+		lp := p.Latency(h, pu)
+		if hs.Radius > 0 && lp >= hs.Radius {
+			continue
+		}
+		maxSib := 0.0
+		if hs.Scoring == ScorePaper {
+			for _, v := range sibs {
+				if l := p.Latency(h, v); l > maxSib {
+					maxSib = l
+				}
+			}
+		}
+		if score := lp + maxSib; score < bestScore {
+			bestScore, best = score, h
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,30 @@
+package alm
+
+import "math/rand"
+
+// PaperDegrees draws n degree bounds from the paper's experimental
+// distribution: degrees lie in [2, 9]; P(degree = d) = 2^-(d-1) for
+// d in 2..8 and 2^-7 for d = 9. Half the nodes have degree 2 and the
+// population of higher degrees decays exponentially.
+func PaperDegrees(n int, r *rand.Rand) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = paperDegree(r.Float64())
+	}
+	return out
+}
+
+// paperDegree maps a uniform sample to a degree under the paper's
+// distribution.
+func paperDegree(u float64) int {
+	acc := 0.0
+	p := 0.5
+	for d := 2; d <= 8; d++ {
+		acc += p
+		if u < acc {
+			return d
+		}
+		p /= 2
+	}
+	return 9
+}

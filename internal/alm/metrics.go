@@ -1,0 +1,86 @@
+package alm
+
+import "math"
+
+// Section 5.1 notes that "there exist several different criteria for
+// optimization, like bandwidth bottleneck, maximal latency or variance
+// of latencies"; the paper optimizes maximal latency (MaxHeight) and
+// this file provides the other two as evaluation metrics, so trees can
+// be compared on every axis the paper names.
+
+// BandwidthFunc returns the bottleneck bandwidth (kbps) of the
+// directed path from parent to child.
+type BandwidthFunc func(parent, child int) float64
+
+// BottleneckBandwidth returns the minimum link bandwidth along any
+// root-to-node path in the tree — the stream rate the whole session
+// can sustain. An empty tree reports +Inf (no constraining link).
+func (t *Tree) BottleneckBandwidth(bw BandwidthFunc) float64 {
+	min := math.Inf(1)
+	var walk func(v int)
+	walk = func(v int) {
+		for _, c := range t.children[v] {
+			if b := bw(v, c); b < min {
+				min = b
+			}
+			walk(c)
+		}
+	}
+	walk(t.Root)
+	return min
+}
+
+// HeightVariance returns the population variance of member heights —
+// the "variance of latencies" criterion (how unevenly members hear the
+// stream). The root's zero height is excluded.
+func (t *Tree) HeightVariance(lat LatencyFunc) float64 {
+	heights := t.Heights(lat)
+	n := 0
+	mean := 0.0
+	for v, h := range heights {
+		if v == t.Root {
+			continue
+		}
+		mean += h
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	mean /= float64(n)
+	variance := 0.0
+	for v, h := range heights {
+		if v == t.Root {
+			continue
+		}
+		d := h - mean
+		variance += d * d
+	}
+	return variance / float64(n)
+}
+
+// TotalEdgeLatency returns the sum of all link latencies — a proxy for
+// the network resources the tree consumes.
+func (t *Tree) TotalEdgeLatency(lat LatencyFunc) float64 {
+	total := 0.0
+	for v, p := range t.parent {
+		total += lat(p, v)
+	}
+	return total
+}
+
+// Depth returns the maximum hop count from the root to any node.
+func (t *Tree) Depth() int {
+	max := 0
+	var walk func(v, d int)
+	walk = func(v, d int) {
+		if d > max {
+			max = d
+		}
+		for _, c := range t.children[v] {
+			walk(c, d+1)
+		}
+	}
+	walk(t.Root, 0)
+	return max
+}

@@ -1,0 +1,81 @@
+package alm
+
+import (
+	"math"
+	"testing"
+)
+
+func metricTree() *Tree {
+	t := NewTree(0)
+	t.Attach(1, 0)
+	t.Attach(2, 0)
+	t.Attach(3, 1)
+	return t
+}
+
+func TestBottleneckBandwidth(t *testing.T) {
+	tr := metricTree()
+	bw := func(p, c int) float64 {
+		// link 1->3 is the narrowest
+		if p == 1 && c == 3 {
+			return 100
+		}
+		return 1000
+	}
+	if got := tr.BottleneckBandwidth(bw); got != 100 {
+		t.Errorf("bottleneck = %v, want 100", got)
+	}
+	empty := NewTree(9)
+	if !math.IsInf(empty.BottleneckBandwidth(bw), 1) {
+		t.Error("empty tree bottleneck should be +Inf")
+	}
+}
+
+func TestHeightVariance(t *testing.T) {
+	tr := metricTree()
+	// heights: 1 -> 10, 2 -> 20, 3 -> 30 with gridLatency.
+	got := tr.HeightVariance(gridLatency)
+	// mean 20, variance ((100)+(0)+(100))/3
+	want := 200.0 / 3
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("variance = %v, want %v", got, want)
+	}
+	if NewTree(0).HeightVariance(gridLatency) != 0 {
+		t.Error("singleton variance should be 0")
+	}
+}
+
+func TestTotalEdgeLatency(t *testing.T) {
+	tr := metricTree()
+	// edges: 0-1 (10), 0-2 (20), 1-3 (20) = 50
+	if got := tr.TotalEdgeLatency(gridLatency); got != 50 {
+		t.Errorf("total = %v, want 50", got)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	tr := metricTree()
+	if tr.Depth() != 2 {
+		t.Errorf("depth = %d, want 2", tr.Depth())
+	}
+	if NewTree(0).Depth() != 0 {
+		t.Error("singleton depth should be 0")
+	}
+}
+
+// A star tree has lower variance than a chain over the same nodes —
+// sanity for the variance metric.
+func TestVarianceStarVsChain(t *testing.T) {
+	star := NewTree(0)
+	star.Attach(1, 0)
+	star.Attach(2, 0)
+	star.Attach(3, 0)
+	chain := NewTree(0)
+	chain.Attach(1, 0)
+	chain.Attach(2, 1)
+	chain.Attach(3, 2)
+	lat := func(a, b int) float64 { return 10 }
+	if star.HeightVariance(lat) >= chain.HeightVariance(lat) {
+		t.Error("star should have lower height variance than chain")
+	}
+}

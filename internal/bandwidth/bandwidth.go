@@ -1,0 +1,89 @@
+// Package bandwidth implements the paper's leafset-based bottleneck
+// bandwidth estimation (Section 4.2). Under the last-hop-bottleneck
+// assumption, a packet-pair measurement from x to y observes
+// min(uplink(x), downlink(y)); a node therefore estimates
+//
+//	uplink(x)   = max over leafset members y of measured(x -> y)
+//	downlink(x) = max over leafset members y of measured(y -> x)
+//
+// which is exact as soon as one leafset member's downlink (resp.
+// uplink) exceeds the node's own uplink (resp. downlink) — increasingly
+// likely as the leafset grows, which is the shape of Figure 5.
+//
+// Two forms are provided: EstimateAll, the round-based analytic form
+// the Figure 5 experiment runs at scale, and Prober, the live protocol
+// that sends padded back-to-back heartbeat-style probes over the DHT
+// and measures their dispersion at the receiver.
+package bandwidth
+
+import (
+	"math/rand"
+
+	"p2ppool/internal/netmodel"
+)
+
+// Estimates is one node's estimated access-link bottleneck bandwidths
+// in kbps. A zero value means "no measurement yet".
+type Estimates struct {
+	Up   float64
+	Down float64
+}
+
+// EstimateAll runs one full round of leafset packet-pair measurements
+// for every host in the model: each host probes every one of its
+// neighbors once in each direction and applies the max rule. neighbors
+// returns the leafset-member host indices of host i. rng supplies probe
+// noise randomness and may be nil when the model is noise-free.
+func EstimateAll(m *netmodel.Model, neighbors func(i int) []int, probeBytes int, rng *rand.Rand) []Estimates {
+	n := m.NumHosts()
+	out := make([]Estimates, n)
+	for x := 0; x < n; x++ {
+		for _, y := range neighbors(x) {
+			if y == x || y < 0 || y >= n {
+				continue
+			}
+			// x -> y probe: contributes to x's uplink and is also the
+			// sample y would use for its downlink; both directions are
+			// probed because the protocol is symmetric ("y does the
+			// same probing as x").
+			fwd := m.PacketPair(x, y, probeBytes, rng)
+			if fwd > out[x].Up {
+				out[x].Up = fwd
+			}
+			rev := m.PacketPair(y, x, probeBytes, rng)
+			if rev > out[x].Down {
+				out[x].Down = rev
+			}
+		}
+	}
+	return out
+}
+
+// RelativeErrors reduces estimates against the model's ground truth,
+// returning the per-host relative errors for uplink and downlink. Hosts
+// with no measurement are reported as error 1 (100% off), which is how
+// an empty estimate behaves for a consumer.
+func RelativeErrors(m *netmodel.Model, est []Estimates) (up, down []float64) {
+	up = make([]float64, len(est))
+	down = make([]float64, len(est))
+	for i := range est {
+		tu, td := m.Up(i), m.Down(i)
+		up[i] = relErr(est[i].Up, tu)
+		down[i] = relErr(est[i].Down, td)
+	}
+	return up, down
+}
+
+func relErr(estimate, truth float64) float64 {
+	if truth <= 0 {
+		return 0
+	}
+	if estimate <= 0 {
+		return 1
+	}
+	d := estimate - truth
+	if d < 0 {
+		d = -d
+	}
+	return d / truth
+}

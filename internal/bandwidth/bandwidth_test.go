@@ -1,0 +1,219 @@
+package bandwidth
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2ppool/internal/dht"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/netmodel"
+	"p2ppool/internal/stats"
+	"p2ppool/internal/transport"
+)
+
+// ringNeighbors returns L random (but deterministic) distinct neighbors
+// per host, simulating the random-membership leafset of a DHT.
+func ringNeighbors(n, L int, seed int64) func(i int) []int {
+	r := rand.New(rand.NewSource(seed))
+	nbs := make([][]int, n)
+	for i := range nbs {
+		seen := map[int]bool{i: true}
+		for len(nbs[i]) < L {
+			x := r.Intn(n)
+			if !seen[x] {
+				seen[x] = true
+				nbs[i] = append(nbs[i], x)
+			}
+		}
+	}
+	return func(i int) []int { return nbs[i] }
+}
+
+func TestEstimateAllNeverOverestimatesUp(t *testing.T) {
+	// With a noise-free model, measured(x->y) = min(up(x), down(y)) <=
+	// up(x); the max over samples can reach but never exceed the truth.
+	m, err := netmodel.New(200, netmodel.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateAll(m, ringNeighbors(200, 8, 2), 1500, nil)
+	for i := range est {
+		if est[i].Up > m.Up(i)+1e-9 {
+			t.Fatalf("host %d: up estimate %v exceeds truth %v", i, est[i].Up, m.Up(i))
+		}
+		if est[i].Down > m.Down(i)+1e-9 {
+			t.Fatalf("host %d: down estimate %v exceeds truth %v", i, est[i].Down, m.Down(i))
+		}
+	}
+}
+
+func TestErrorDecreasesWithLeafsetSize(t *testing.T) {
+	// The core Figure 5 shape: average relative error shrinks as the
+	// leafset grows, and uplink is more accurate than downlink.
+	m, err := netmodel.New(600, netmodel.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevUp float64 = -1
+	for _, L := range []int{2, 8, 32} {
+		est := EstimateAll(m, ringNeighbors(600, L, 4), 1500, nil)
+		up, down := RelativeErrors(m, est)
+		meanUp := stats.Mean(up)
+		meanDown := stats.Mean(down)
+		if prevUp >= 0 && meanUp > prevUp+0.02 {
+			t.Errorf("L=%d: uplink error %.3f did not decrease (prev %.3f)", L, meanUp, prevUp)
+		}
+		prevUp = meanUp
+		if L == 32 {
+			if meanUp > 0.05 {
+				t.Errorf("L=32: uplink error %.3f, paper says ~0", meanUp)
+			}
+			if meanDown < meanUp {
+				t.Errorf("L=32: downlink error %.3f should exceed uplink error %.3f", meanDown, meanUp)
+			}
+		}
+	}
+}
+
+func TestUplinkRankingAtL32(t *testing.T) {
+	// Section 4.2: "with leafset of size 32 ... the ranking is 100%
+	// correct". Verify rank correlation is essentially 1.
+	m, err := netmodel.New(400, netmodel.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateAll(m, ringNeighbors(400, 32, 6), 1500, nil)
+	truth := make([]float64, 400)
+	got := make([]float64, 400)
+	for i := range truth {
+		truth[i] = m.Up(i)
+		got[i] = est[i].Up
+	}
+	rc, err := stats.SpearmanRank(truth, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc < 0.99 {
+		t.Errorf("uplink rank correlation %.4f at L=32, want ~1", rc)
+	}
+}
+
+func TestRelativeErrorsEdgeCases(t *testing.T) {
+	m, _ := netmodel.New(3, netmodel.Options{Seed: 7})
+	est := []Estimates{{Up: 0, Down: 0}, {Up: m.Up(1), Down: m.Down(1)}, {}}
+	up, down := RelativeErrors(m, est)
+	if up[0] != 1 || down[0] != 1 {
+		t.Error("missing estimates should read as 100% error")
+	}
+	if up[1] != 0 || down[1] != 0 {
+		t.Error("exact estimates should read as 0 error")
+	}
+}
+
+func TestEstimateAllSkipsBadNeighbors(t *testing.T) {
+	m, _ := netmodel.New(4, netmodel.Options{Seed: 8})
+	est := EstimateAll(m, func(i int) []int { return []int{i, -1, 99} }, 1500, nil)
+	for i := range est {
+		if est[i].Up != 0 || est[i].Down != 0 {
+			t.Error("self/out-of-range neighbors should contribute nothing")
+		}
+	}
+}
+
+// TestLiveProber runs the full packet-pair protocol over the simulated
+// transport (which serializes back-to-back messages at the true path
+// bottleneck) and checks the estimates converge to the analytic rule.
+func TestLiveProber(t *testing.T) {
+	const n = 24
+	m, err := netmodel.New(n, netmodel.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := eventsim.New(10)
+	net := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, b int) float64 {
+			if a == b {
+				return 0
+			}
+			return 10
+		},
+		Bottleneck: m.PathBottleneck,
+	})
+	r := rand.New(rand.NewSource(11))
+	idList := dht.RandomIDs(n, r)
+	addrs := make([]transport.Addr, n)
+	for i := range addrs {
+		addrs[i] = transport.Addr(i)
+	}
+	nodes, err := dht.BuildRing(net, idList, addrs, dht.Config{
+		LeafsetRadius:     8,
+		HeartbeatInterval: 5 * eventsim.Second, // keep heartbeat traffic light
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probers := make([]*Prober, n)
+	for i, nd := range nodes {
+		probers[i] = NewProber(nd, ProberOptions{ProbeInterval: eventsim.Second})
+	}
+	engine.RunUntil(2 * eventsim.Minute)
+
+	measured := 0
+	for i, p := range probers {
+		host := int(nodes[i].Self().Addr)
+		if p.Measurements() > 0 {
+			measured++
+		}
+		if p.UpEstimate() > m.Up(host)+1e-6 {
+			t.Errorf("host %d: live up estimate %v exceeds truth %v", host, p.UpEstimate(), m.Up(host))
+		}
+		if p.DownEstimate() > m.Down(host)+1e-6 {
+			t.Errorf("host %d: live down estimate %v exceeds truth %v", host, p.DownEstimate(), m.Down(host))
+		}
+	}
+	if measured < n/2 {
+		t.Fatalf("only %d/%d probers took measurements", measured, n)
+	}
+	// Aggregate accuracy: most uplink estimates should be close after
+	// 2 minutes of probing an 16-member leafset.
+	var errs []float64
+	for i, p := range probers {
+		host := int(nodes[i].Self().Addr)
+		if p.UpEstimate() > 0 {
+			errs = append(errs, relErr(p.UpEstimate(), m.Up(host)))
+		}
+	}
+	if med := stats.Median(errs); med > 0.25 {
+		t.Errorf("live uplink median relative error %.3f, want < 0.25", med)
+	}
+}
+
+func TestProberStop(t *testing.T) {
+	engine := eventsim.New(12)
+	net := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, b int) float64 { return 5 },
+	})
+	nd := dht.NewNode(net, 1, 0, dht.Config{})
+	nd.Bootstrap()
+	p := NewProber(nd, ProberOptions{ProbeInterval: eventsim.Second})
+	p.Stop()
+	engine.RunUntil(10 * eventsim.Second)
+	if p.probesSent != 0 {
+		t.Error("stopped prober kept probing")
+	}
+}
+
+func TestProberSecondWithoutFirst(t *testing.T) {
+	engine := eventsim.New(13)
+	net := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, b int) float64 { return 5 },
+	})
+	nd := dht.NewNode(net, 1, 0, dht.Config{})
+	nd.Bootstrap()
+	p := NewProber(nd, ProberOptions{})
+	// A seq-2 probe with no matching seq-1 must be ignored.
+	p.onApp(dht.Entry{ID: 2, Addr: 3}, pairProbe{From: dht.Entry{ID: 2, Addr: 3}, ProbeID: 7, Seq: 2})
+	if p.Measurements() != 0 {
+		t.Error("orphan second probe produced a measurement")
+	}
+}

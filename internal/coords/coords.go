@@ -1,0 +1,350 @@
+package coords
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Vector is a network coordinate in d-dimensional Euclidean space.
+type Vector []float64
+
+// Clone returns a copy of the vector.
+func (v Vector) Clone() Vector { return append(Vector(nil), v...) }
+
+// Dist returns the Euclidean distance between two coordinates — the
+// predicted latency between their owners.
+func Dist(a, b Vector) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// LatencyFunc returns the measured one-way latency between two hosts.
+type LatencyFunc func(a, b int) float64
+
+// randomVector draws a start coordinate in [0, spread)^dim.
+func randomVector(dim int, spread float64, r *rand.Rand) Vector {
+	v := make(Vector, dim)
+	for i := range v {
+		v[i] = r.Float64() * spread
+	}
+	return v
+}
+
+// fitError is the paper's objective: E(x) = Σ |d_p(i) - d_m(i)| over
+// reference points with coordinates refs and measured delays meas.
+// With relative=true each term is divided by the measured delay.
+func fitError(x Vector, refs []Vector, meas []float64, relative bool) float64 {
+	e := 0.0
+	for i, ref := range refs {
+		t := math.Abs(Dist(x, ref) - meas[i])
+		if relative && meas[i] > 0 {
+			t /= meas[i]
+		}
+		e += t
+	}
+	return e
+}
+
+// solveOwn finds the coordinate minimizing the fit error against the
+// given references, starting from start.
+func solveOwn(start Vector, refs []Vector, meas []float64, opt SimplexOptions) Vector {
+	return solveOwnObj(start, refs, meas, opt, false)
+}
+
+func solveOwnObj(start Vector, refs []Vector, meas []float64, opt SimplexOptions, relative bool) Vector {
+	f := func(x []float64) float64 { return fitError(x, refs, meas, relative) }
+	best, _ := Minimize(f, start, opt)
+	return best
+}
+
+// GNPConfig parameterizes the landmark-based solver.
+type GNPConfig struct {
+	// Dim is the embedding dimension (GNP works well at 5-8).
+	Dim int
+	// Rounds of iterative landmark refinement.
+	Rounds int
+	// Seed for initial coordinates.
+	Seed int64
+	// Spread of the random initial box; should be on the order of the
+	// network diameter in milliseconds.
+	Spread float64
+}
+
+func (c GNPConfig) withDefaults() GNPConfig {
+	if c.Dim <= 0 {
+		c.Dim = 5
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 20
+	}
+	if c.Spread <= 0 {
+		c.Spread = 400
+	}
+	return c
+}
+
+// SolveGNP computes coordinates for hosts 0..n-1 in the GNP fashion:
+// the landmark hosts solve their coordinates against each other first
+// (iterated per-landmark downhill simplex), then every other host
+// solves its own coordinate against the fixed landmarks.
+func SolveGNP(lat LatencyFunc, n int, landmarks []int, cfg GNPConfig) ([]Vector, error) {
+	cfg = cfg.withDefaults()
+	if len(landmarks) < cfg.Dim+1 {
+		return nil, fmt.Errorf("coords: need at least dim+1=%d landmarks, got %d", cfg.Dim+1, len(landmarks))
+	}
+	for _, l := range landmarks {
+		if l < 0 || l >= n {
+			return nil, fmt.Errorf("coords: landmark %d out of range [0,%d)", l, n)
+		}
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Phase 1: landmark coordinates by iterative refinement.
+	lm := make([]Vector, len(landmarks))
+	for i := range lm {
+		lm[i] = randomVector(cfg.Dim, cfg.Spread, r)
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := range landmarks {
+			refs := make([]Vector, 0, len(landmarks)-1)
+			meas := make([]float64, 0, len(landmarks)-1)
+			for j := range landmarks {
+				if j == i {
+					continue
+				}
+				refs = append(refs, lm[j])
+				meas = append(meas, lat(landmarks[i], landmarks[j]))
+			}
+			lm[i] = solveOwn(lm[i], refs, meas, SimplexOptions{})
+		}
+	}
+
+	// Phase 2: every host against the landmarks.
+	out := make([]Vector, n)
+	for i := range landmarks {
+		out[landmarks[i]] = lm[i]
+	}
+	for h := 0; h < n; h++ {
+		if out[h] != nil {
+			continue
+		}
+		refs := make([]Vector, len(landmarks))
+		meas := make([]float64, len(landmarks))
+		for j, l := range landmarks {
+			refs[j] = lm[j]
+			meas[j] = lat(h, l)
+		}
+		out[h] = solveOwn(randomVector(cfg.Dim, cfg.Spread, r), refs, meas, SimplexOptions{})
+	}
+	return out, nil
+}
+
+// LeafsetConfig parameterizes the distributed leafset-based solver.
+type LeafsetConfig struct {
+	// Dim is the embedding dimension.
+	Dim int
+	// Rounds of relaxation; each round every node refines its own
+	// coordinate against its current neighbors once (this mirrors the
+	// continuous heartbeat-driven refinement of the live protocol).
+	Rounds int
+	// Seed for initial coordinates.
+	Seed int64
+	// Spread of the random initial box.
+	Spread float64
+	// Damping moves each node only this fraction of the way toward its
+	// locally optimal coordinate per round (1 = full step). Damping
+	// suppresses the oscillation of simultaneous updates; the live
+	// protocol gets the same effect from unsynchronized heartbeats.
+	Damping float64
+	// MaxIter bounds each per-node simplex refinement.
+	MaxIter int
+	// RelativeError switches the per-node objective from the paper's
+	// Σ|d_p - d_m| to Σ|d_p - d_m|/d_m. The absolute form lets the few
+	// long cross-transit distances dominate, under-fitting the local
+	// geometry the helper heuristic depends on; GNP itself minimizes a
+	// relative form for the same reason.
+	RelativeError bool
+	// Core overrides the bootstrap core size (default 2*(Dim+1)).
+	Core int
+	// Simultaneous disables the incremental-join bootstrap and starts
+	// every node from a random coordinate at once — the ablation that
+	// shows why incremental placement matters.
+	Simultaneous bool
+}
+
+func (c LeafsetConfig) withDefaults() LeafsetConfig {
+	if c.Dim <= 0 {
+		c.Dim = 5
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 30
+	}
+	if c.Spread <= 0 {
+		c.Spread = 400
+	}
+	if c.Damping <= 0 || c.Damping > 1 {
+		c.Damping = 0.5
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 120 * c.Dim
+	}
+	return c
+}
+
+// SolveLeafset computes coordinates for hosts 0..n-1 with the paper's
+// leafset scheme: no landmarks; every node refines its own coordinate
+// against the measured delays to its leafset neighbors (neighbors(i)
+// returns host indices). This round-based form is the deterministic,
+// fast-converging equivalent of the heartbeat protocol in Estimator,
+// and is what the Figure 4 experiment runs at scale.
+//
+// The solve models the way a real ring bootstraps (and the way PIC [3],
+// which the paper identifies with its scheme, computes coordinates):
+// nodes join one at a time. While the ring is small every member is in
+// every other's leafset, so the early joiners solve a mutually
+// consistent core exactly like GNP's landmark phase; each later joiner
+// fits against the already-placed members of its leafset. A pure
+// simultaneous relaxation (all nodes moving at once from random
+// positions) converges to folded embeddings an order of magnitude
+// worse — set Simultaneous to observe that ablation.
+func SolveLeafset(lat LatencyFunc, n int, neighbors func(i int) []int, cfg LeafsetConfig) ([]Vector, error) {
+	cfg = cfg.withDefaults()
+	if n <= 0 {
+		return nil, fmt.Errorf("coords: n must be positive, got %d", n)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	cur := make([]Vector, n)
+	placed := make([]bool, n)
+
+	refine := func(i int, refs []Vector, meas []float64) Vector {
+		return solveOwnObj(cur[i], refs, meas, SimplexOptions{MaxIter: cfg.MaxIter}, cfg.RelativeError)
+	}
+
+	if cfg.Simultaneous {
+		for i := range cur {
+			cur[i] = randomVector(cfg.Dim, cfg.Spread, r)
+			placed[i] = true
+		}
+	} else {
+		// Incremental join in random order.
+		order := r.Perm(n)
+		coreSize := cfg.coreSize()
+		if coreSize > n {
+			coreSize = n
+		}
+		core := order[:coreSize]
+		for _, i := range core {
+			cur[i] = randomVector(cfg.Dim, cfg.Spread, r)
+		}
+		// The bootstrap core heartbeats mutually (a small ring is a
+		// clique of leafsets): iterate to mutual consistency.
+		for round := 0; round < 15; round++ {
+			for _, i := range core {
+				refs := make([]Vector, 0, coreSize-1)
+				meas := make([]float64, 0, coreSize-1)
+				for _, j := range core {
+					if j != i {
+						refs = append(refs, cur[j])
+						meas = append(meas, lat(i, j))
+					}
+				}
+				cur[i] = refine(i, refs, meas)
+			}
+		}
+		for _, i := range core {
+			placed[i] = true
+		}
+		// Later joiners fit against placed leafset members; a joiner
+		// whose leafset has too few placed members falls back to a
+		// random placed sample (its leafset at join time consisted of
+		// whoever was in the ring).
+		placedList := append([]int(nil), core...)
+		for _, i := range order[coreSize:] {
+			refs := make([]Vector, 0, 32)
+			meas := make([]float64, 0, 32)
+			for _, x := range neighbors(i) {
+				if x >= 0 && x < n && placed[x] {
+					refs = append(refs, cur[x])
+					meas = append(meas, lat(i, x))
+				}
+			}
+			for len(refs) < cfg.Dim+1 && len(refs) < len(placedList) {
+				x := placedList[r.Intn(len(placedList))]
+				refs = append(refs, cur[x])
+				meas = append(meas, lat(i, x))
+			}
+			cur[i] = randomVector(cfg.Dim, cfg.Spread, r)
+			cur[i] = refine(i, refs, meas)
+			placed[i] = true
+			placedList = append(placedList, i)
+		}
+	}
+
+	// Continuous refinement (what the live heartbeats keep doing).
+	for round := 0; round < cfg.Rounds; round++ {
+		for i := 0; i < n; i++ {
+			nb := neighbors(i)
+			if len(nb) == 0 {
+				continue
+			}
+			refs := make([]Vector, len(nb))
+			meas := make([]float64, len(nb))
+			for j, x := range nb {
+				refs[j] = cur[x]
+				meas[j] = lat(i, x)
+			}
+			next := refine(i, refs, meas)
+			if cfg.Damping >= 1 {
+				cur[i] = next
+				continue
+			}
+			for d := range cur[i] {
+				cur[i][d] += cfg.Damping * (next[d] - cur[i][d])
+			}
+		}
+	}
+	return cur, nil
+}
+
+// PairErrors computes the relative pairwise latency-prediction error
+// |predicted - measured| / measured over the given host pairs; pairs
+// with measured latency 0 are skipped. This is the quantity whose CDF
+// Figure 4 plots.
+func PairErrors(coords []Vector, lat LatencyFunc, pairs [][2]int) []float64 {
+	out := make([]float64, 0, len(pairs))
+	for _, p := range pairs {
+		m := lat(p[0], p[1])
+		if m <= 0 {
+			continue
+		}
+		pred := Dist(coords[p[0]], coords[p[1]])
+		out = append(out, math.Abs(pred-m)/m)
+	}
+	return out
+}
+
+// RandomPairs draws k distinct-host pairs uniformly.
+func RandomPairs(n, k int, r *rand.Rand) [][2]int {
+	out := make([][2]int, 0, k)
+	for len(out) < k {
+		a, b := r.Intn(n), r.Intn(n)
+		if a != b {
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}
+
+// coreSize returns the bootstrap core population: a full leafset's
+// worth of mutually measuring members when possible.
+func (c LeafsetConfig) coreSize() int {
+	if c.Core > 0 {
+		return c.Core
+	}
+	return 2 * (c.Dim + 1)
+}

@@ -1,0 +1,120 @@
+package coords
+
+import (
+	"math/rand"
+
+	"p2ppool/internal/dht"
+	"p2ppool/internal/ids"
+)
+
+// sample is one neighbor observation: its advertised coordinate and the
+// one-way latency measured from heartbeat RTTs.
+type sample struct {
+	coord Vector
+	owl   float64
+}
+
+// Estimator is the live, heartbeat-driven form of the leafset
+// coordinate scheme. Registered as a dht.Gossip, it piggybacks this
+// node's current coordinate on every heartbeat, collects neighbors'
+// coordinates and measured delays from acks, and periodically refines
+// its own coordinate with a downhill simplex step — the continuously
+// running version of SolveLeafset.
+type Estimator struct {
+	dim         int
+	coord       Vector
+	samples     map[ids.ID]sample
+	fresh       int
+	updateEvery int
+	updates     uint64
+	rng         *rand.Rand
+}
+
+// EstimatorOptions tunes a live estimator.
+type EstimatorOptions struct {
+	// Dim is the embedding dimension (default 5).
+	Dim int
+	// UpdateEvery triggers a simplex refinement after this many fresh
+	// RTT samples (default: 8).
+	UpdateEvery int
+	// Spread of the random initial coordinate (default 400).
+	Spread float64
+	// Seed for the initial coordinate.
+	Seed int64
+}
+
+// NewEstimator creates a live estimator and registers it on the node.
+func NewEstimator(node *dht.Node, opt EstimatorOptions) *Estimator {
+	if opt.Dim <= 0 {
+		opt.Dim = 5
+	}
+	if opt.UpdateEvery <= 0 {
+		opt.UpdateEvery = 8
+	}
+	if opt.Spread <= 0 {
+		opt.Spread = 400
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+	e := &Estimator{
+		dim:         opt.Dim,
+		coord:       randomVector(opt.Dim, opt.Spread, r),
+		samples:     make(map[ids.ID]sample),
+		updateEvery: opt.UpdateEvery,
+		rng:         r,
+	}
+	node.RegisterGossip(e)
+	return e
+}
+
+// Coord returns the node's current coordinate (a copy).
+func (e *Estimator) Coord() Vector { return e.coord.Clone() }
+
+// Updates returns how many simplex refinements have run.
+func (e *Estimator) Updates() uint64 { return e.updates }
+
+// SampleCount returns how many neighbors have contributed samples.
+func (e *Estimator) SampleCount() int { return len(e.samples) }
+
+// HeartbeatPayload implements dht.Gossip: advertise our coordinate.
+func (e *Estimator) HeartbeatPayload(peer dht.Entry) interface{} {
+	return e.coord.Clone()
+}
+
+// OnHeartbeat implements dht.Gossip: absorb the peer's coordinate and,
+// when the exchange carries a fresh RTT, its measured delay.
+func (e *Estimator) OnHeartbeat(peer dht.Entry, rtt float64, payload interface{}) {
+	c, ok := payload.(Vector)
+	if !ok || len(c) != e.dim {
+		return
+	}
+	s := e.samples[peer.ID]
+	s.coord = c
+	if rtt >= 0 {
+		s.owl = rtt / 2
+		e.fresh++
+	}
+	e.samples[peer.ID] = s
+	if e.fresh >= e.updateEvery {
+		e.fresh = 0
+		e.refine()
+	}
+}
+
+// refine runs one local simplex update over the current samples,
+// minimizing E(x) = Σ |d_p - d_m| exactly as Section 4.1 prescribes.
+func (e *Estimator) refine() {
+	refs := make([]Vector, 0, len(e.samples))
+	meas := make([]float64, 0, len(e.samples))
+	for _, s := range e.samples {
+		if s.owl <= 0 || s.coord == nil {
+			continue
+		}
+		refs = append(refs, s.coord)
+		meas = append(meas, s.owl)
+	}
+	if len(refs) < e.dim+1 {
+		return // under-determined; wait for more neighbors
+	}
+	e.coord = solveOwn(e.coord, refs, meas, SimplexOptions{MaxIter: 60 * e.dim})
+	e.updates++
+}

@@ -1,0 +1,116 @@
+package coords
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2ppool/internal/dht"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/ids"
+	"p2ppool/internal/stats"
+	"p2ppool/internal/transport"
+)
+
+// TestEstimatorConvergesOnRing runs the live heartbeat-driven protocol
+// on a simulated ring over a planted (perfectly embeddable) latency
+// space and checks that predicted pairwise latencies converge.
+func TestEstimatorConvergesOnRing(t *testing.T) {
+	const n = 32
+	pts, lat := planted(n, 3, 11)
+	_ = pts
+	engine := eventsim.New(1)
+	net := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, b int) float64 {
+			if a == b {
+				return 0
+			}
+			return lat(a, b)
+		},
+	})
+	r := rand.New(rand.NewSource(2))
+	idList := dht.RandomIDs(n, r)
+	addrs := make([]transport.Addr, n)
+	for i := range addrs {
+		addrs[i] = transport.Addr(i)
+	}
+	nodes, err := dht.BuildRing(net, idList, addrs, dht.Config{
+		LeafsetRadius:     8,
+		HeartbeatInterval: eventsim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := make([]*Estimator, n)
+	for i, nd := range nodes {
+		ests[i] = NewEstimator(nd, EstimatorOptions{Dim: 3, Seed: int64(i + 1)})
+	}
+	engine.RunUntil(2 * eventsim.Minute)
+
+	for i, e := range ests {
+		if e.Updates() == 0 {
+			t.Fatalf("estimator %d never refined (samples=%d)", i, e.SampleCount())
+		}
+	}
+
+	// Pairwise relative error across the live coordinates. Addresses
+	// equal host indices equal ring order here, so map node order back
+	// to address order for the latency oracle.
+	coordOf := make([]Vector, n)
+	for i, nd := range nodes {
+		coordOf[int(nd.Self().Addr)] = ests[i].Coord()
+	}
+	var errs []float64
+	for trial := 0; trial < 300; trial++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b {
+			continue
+		}
+		m := lat(a, b)
+		if m <= 0 {
+			continue
+		}
+		pred := Dist(coordOf[a], coordOf[b])
+		errs = append(errs, abs(pred-m)/m)
+	}
+	med := stats.Median(errs)
+	if med > 0.3 {
+		t.Errorf("live estimator median relative error %.3f, want < 0.3", med)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestEstimatorIgnoresForeignPayload(t *testing.T) {
+	engine := eventsim.New(3)
+	net := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, b int) float64 { return 5 },
+	})
+	nd := dht.NewNode(net, 1, 0, dht.Config{})
+	e := NewEstimator(nd, EstimatorOptions{Dim: 3})
+	e.OnHeartbeat(dht.Entry{ID: 2, Addr: 1}, 10, "not a vector")
+	e.OnHeartbeat(dht.Entry{ID: 2, Addr: 1}, 10, Vector{1, 2}) // wrong dim
+	if e.SampleCount() != 0 {
+		t.Error("foreign payloads should be ignored")
+	}
+}
+
+func TestEstimatorUnderDetermined(t *testing.T) {
+	engine := eventsim.New(4)
+	net := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, b int) float64 { return 5 },
+	})
+	nd := dht.NewNode(net, 1, 0, dht.Config{})
+	e := NewEstimator(nd, EstimatorOptions{Dim: 5, UpdateEvery: 1})
+	// Fewer than dim+1 neighbors: refinement must not run.
+	for i := 0; i < 3; i++ {
+		e.OnHeartbeat(dht.Entry{ID: ids.ID(100 + i), Addr: transport.Addr(i + 1)}, 10, Vector{1, 2, 3, 4, 5})
+	}
+	if e.Updates() != 0 {
+		t.Error("under-determined estimator should not refine")
+	}
+}

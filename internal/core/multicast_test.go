@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMulticastMatchesPlannedHeight: disseminating over the planned
+// tree must deliver the payload to the furthest member in exactly the
+// tree's MaxHeight — the planner's objective is a real delivery time.
+func TestMulticastMatchesPlannedHeight(t *testing.T) {
+	p := fastPool(t, 400, 61)
+	r := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 3; trial++ {
+		perm := r.Perm(400)
+		tree, err := p.PlanSession(perm[0], perm[1:16], PlanOptions{Mode: Critical, Adjust: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p.SimulateMulticast(tree, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tree.MaxHeight(p.TrueLatency)
+		if math.Abs(rep.MaxLatency-want) > 1e-6 {
+			t.Fatalf("delivered max latency %.3f != planned height %.3f", rep.MaxLatency, want)
+		}
+		if rep.Messages != tree.Size()-1 {
+			t.Fatalf("messages = %d, want %d (one per edge)", rep.Messages, tree.Size()-1)
+		}
+		if rep.MeanLatency <= 0 || rep.MeanLatency > rep.MaxLatency {
+			t.Fatalf("mean %.3f outside (0, max]", rep.MeanLatency)
+		}
+		// Per-node arrivals equal planned heights.
+		heights := tree.Heights(p.TrueLatency)
+		for v, at := range rep.Arrival {
+			if math.Abs(at-heights[v]) > 1e-6 {
+				t.Fatalf("node %d arrival %.3f != height %.3f", v, at, heights[v])
+			}
+		}
+	}
+}
+
+func TestMulticastNilTree(t *testing.T) {
+	p := fastPool(t, 100, 63)
+	if _, err := p.SimulateMulticast(nil, 0); err == nil {
+		t.Error("nil tree should fail")
+	}
+}
+
+// Helper trees deliver faster than the baseline in actual dissemination,
+// not just on paper.
+func TestMulticastHelperGainIsReal(t *testing.T) {
+	p := fastPool(t, 600, 64)
+	r := rand.New(rand.NewSource(65))
+	better, trials := 0, 0
+	for trial := 0; trial < 5; trial++ {
+		perm := r.Perm(600)
+		base, err := p.PlanSession(perm[0], perm[1:20], PlanOptions{NoHelpers: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		helped, err := p.PlanSession(perm[0], perm[1:20], PlanOptions{Mode: Critical, Adjust: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := p.SimulateMulticast(base, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rh, err := p.SimulateMulticast(helped, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trials++
+		if rh.MaxLatency < rb.MaxLatency {
+			better++
+		}
+	}
+	if better < trials-1 {
+		t.Errorf("helper trees delivered faster in only %d/%d trials", better, trials)
+	}
+}

@@ -1,0 +1,168 @@
+package dht
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/ids"
+	"p2ppool/internal/transport"
+)
+
+// TestHeavyChurn interleaves joins, graceful leaves and crashes, then
+// verifies the ring reconverges to exactly the surviving membership.
+func TestHeavyChurn(t *testing.T) {
+	e, net := testNet(31)
+	cfg := Config{
+		LeafsetRadius:     8,
+		HeartbeatInterval: eventsim.Second,
+		FailureTimeout:    3 * eventsim.Second,
+	}
+	nodes := buildTestRing(t, net, 32, cfg, 32)
+	e.RunUntil(5 * eventsim.Second)
+
+	r := rand.New(rand.NewSource(33))
+	alive := map[ids.ID]*Node{}
+	for _, nd := range nodes {
+		alive[nd.Self().ID] = nd
+	}
+	nextAddr := transport.Addr(5000)
+	usedIDs := map[ids.ID]bool{}
+	for _, nd := range nodes {
+		usedIDs[nd.Self().ID] = true
+	}
+
+	pick := func() *Node {
+		ks := make([]ids.ID, 0, len(alive))
+		for k := range alive {
+			ks = append(ks, k)
+		}
+		// deterministic order then random pick
+		for i := range ks {
+			for j := i + 1; j < len(ks); j++ {
+				if ks[j] < ks[i] {
+					ks[i], ks[j] = ks[j], ks[i]
+				}
+			}
+		}
+		return alive[ks[r.Intn(len(ks))]]
+	}
+
+	for round := 0; round < 12; round++ {
+		switch r.Intn(3) {
+		case 0: // join
+			var id ids.ID
+			for {
+				id = ids.Random(r)
+				if !usedIDs[id] {
+					usedIDs[id] = true
+					break
+				}
+			}
+			nd := NewNode(net, id, nextAddr, cfg)
+			nextAddr++
+			nd.Join(pick().Self())
+			alive[id] = nd
+		case 1: // graceful leave
+			if len(alive) > 8 {
+				nd := pick()
+				nd.Leave()
+				delete(alive, nd.Self().ID)
+			}
+		case 2: // crash
+			if len(alive) > 8 {
+				nd := pick()
+				nd.Stop()
+				net.SetDown(nd.Self().Addr, true)
+				delete(alive, nd.Self().ID)
+			}
+		}
+		e.RunUntil(e.Now() + 15*eventsim.Second)
+	}
+	// Final convergence window.
+	e.RunUntil(e.Now() + 2*eventsim.Minute)
+
+	survivors := make([]*Node, 0, len(alive))
+	for _, nd := range alive {
+		survivors = append(survivors, nd)
+	}
+	SortByID(survivors)
+	if err := CheckRing(survivors); err != nil {
+		t.Fatalf("ring inconsistent after churn (%d survivors): %v", len(survivors), err)
+	}
+	// Zones of survivors must tile the ring.
+	for probe := 0; probe < 200; probe++ {
+		k := ids.Random(r)
+		owners := 0
+		for _, nd := range survivors {
+			if nd.Zone().Contains(k) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("key %v owned by %d survivors", k, owners)
+		}
+	}
+}
+
+// TestRejoinAfterLeave: a node that left may rejoin with the same ID
+// (the tombstone must not shun it forever).
+func TestRejoinAfterLeave(t *testing.T) {
+	e, net := testNet(34)
+	cfg := Config{LeafsetRadius: 4, FailureTimeout: 2 * eventsim.Second}
+	nodes := buildTestRing(t, net, 8, cfg, 35)
+	e.RunUntil(2 * eventsim.Second)
+
+	leaver := nodes[3]
+	id := leaver.Self().ID
+	addr := leaver.Self().Addr
+	leaver.Leave()
+	e.RunUntil(e.Now() + 10*eventsim.Second)
+
+	// Rejoin with the same identity.
+	again := NewNode(net, id, addr, cfg)
+	again.Join(nodes[0].Self())
+	e.RunUntil(e.Now() + 30*eventsim.Second)
+
+	all := append(append([]*Node{}, nodes[:3]...), nodes[4:]...)
+	all = append(all, again)
+	SortByID(all)
+	if err := CheckRing(all); err != nil {
+		t.Fatalf("ring inconsistent after rejoin: %v", err)
+	}
+}
+
+// TestLookupConsistencyUnderChurn: routed messages during churn either
+// reach the current owner or are dropped — never delivered to a node
+// that does not own the key at delivery time.
+func TestLookupConsistencyUnderChurn(t *testing.T) {
+	e, net := testNet(36)
+	cfg := Config{LeafsetRadius: 8, HeartbeatInterval: eventsim.Second, FailureTimeout: 3 * eventsim.Second}
+	nodes := buildTestRing(t, net, 24, cfg, 37)
+	e.RunUntil(3 * eventsim.Second)
+
+	misdeliveries := 0
+	for _, nd := range nodes {
+		nd := nd
+		nd.OnRouted(func(key ids.ID, from Entry, hops int, payload interface{}) {
+			if !nd.Zone().Contains(key) {
+				misdeliveries++
+			}
+		})
+	}
+	r := rand.New(rand.NewSource(38))
+	// Crash a node, then immediately route traffic while repair runs.
+	nodes[7].Stop()
+	net.SetDown(nodes[7].Self().Addr, true)
+	for i := 0; i < 100; i++ {
+		src := nodes[r.Intn(len(nodes))]
+		if src.Active() {
+			src.Route(ids.Random(r), 32, i)
+		}
+		e.RunUntil(e.Now() + 200*eventsim.Millisecond)
+	}
+	e.RunUntil(e.Now() + 30*eventsim.Second)
+	if misdeliveries > 0 {
+		t.Fatalf("%d messages delivered to non-owners", misdeliveries)
+	}
+}

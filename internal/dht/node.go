@@ -1,0 +1,572 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/ids"
+	"p2ppool/internal/transport"
+)
+
+// neighbor is the per-peer liveness record.
+type neighbor struct {
+	entry     Entry
+	lastHeard eventsim.Time
+}
+
+// Stats counts protocol activity for a node.
+type Stats struct {
+	HeartbeatsSent uint64
+	AcksReceived   uint64
+	Failures       uint64 // neighbors declared dead
+	Routed         uint64 // routed messages forwarded or delivered
+	Delivered      uint64 // routed messages delivered locally
+}
+
+// Node is one DHT participant. All methods must be called from the
+// network's dispatch context (the event loop in Sim mode, a single
+// handler goroutine in Live mode); the type itself holds no locks.
+type Node struct {
+	net  transport.Network
+	cfg  Config
+	self Entry
+
+	active    bool
+	neighbors map[ids.ID]*neighbor
+	// tombstones remembers recently departed/failed nodes so that
+	// membership gossip cannot reintroduce them as zombies; entries
+	// expire so a genuinely rejoining node is not shunned forever, and
+	// any direct message from a tombstoned node resurrects it at once.
+	tombstones map[ids.ID]eventsim.Time
+	// sorted caches the neighbor entries ordered by clockwise distance
+	// from self; rebuilt on membership change.
+	sorted []Entry
+
+	fingers []Entry // fingers[i] ~ owner of self + 2^(RingBits-Fingers+i)
+	// lastContact records when any message last arrived from a peer —
+	// liveness evidence for finger probing (leafset members have their
+	// own records in neighbors).
+	lastContact map[ids.ID]eventsim.Time
+	// fingerProbe tracks outstanding liveness probes to finger nodes:
+	// ID -> probe send time. A finger that stays silent past the
+	// failure timeout is purged, so routed traffic stops black-holing
+	// through dead pointers that are not in the leafset.
+	fingerProbe map[ids.ID]eventsim.Time
+	probeCursor int
+
+	gossips       []Gossip
+	routeHandlers []RouteHandler
+	appHandlers   []AppHandler
+	onZoneChange  []func(old, new ids.Zone)
+
+	lastZone ids.Zone
+
+	cancelHB transport.CancelFunc
+	cancelFF transport.CancelFunc
+
+	stats Stats
+}
+
+// NewNode creates a node. It does not join any ring; call Bootstrap
+// (first node) or Join.
+func NewNode(net transport.Network, id ids.ID, addr transport.Addr, cfg Config) *Node {
+	n := &Node{
+		net:         net,
+		cfg:         cfg.withDefaults(),
+		self:        Entry{ID: id, Addr: addr},
+		neighbors:   make(map[ids.ID]*neighbor),
+		tombstones:  make(map[ids.ID]eventsim.Time),
+		lastContact: make(map[ids.ID]eventsim.Time),
+		fingerProbe: make(map[ids.ID]eventsim.Time),
+	}
+	n.fingers = make([]Entry, n.cfg.Fingers)
+	for i := range n.fingers {
+		n.fingers[i] = NoEntry
+	}
+	n.lastZone = n.zone()
+	net.Attach(addr, n.onMessage)
+	return n
+}
+
+// Self returns the node's entry.
+func (n *Node) Self() Entry { return n.self }
+
+// Active reports whether the node has joined a ring.
+func (n *Node) Active() bool { return n.active }
+
+// Stats returns a copy of the node's protocol counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// Config returns the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Bootstrap starts this node as the first member of a new ring.
+func (n *Node) Bootstrap() {
+	n.active = true
+	n.startTimers()
+	n.zoneMaybeChanged()
+}
+
+// Join admits this node to the ring via any existing member. The seed
+// routes a join request to the owner of the joiner's ID, which replies
+// with its leafset.
+func (n *Node) Join(seed Entry) {
+	n.active = true
+	n.startTimers()
+	n.send(seed, 64, routed{
+		Key:     n.self.ID,
+		Origin:  n.self,
+		Size:    64,
+		Payload: joinRequest{Joiner: n.self},
+	})
+}
+
+// Leave gracefully departs: leafset members get the node's view so they
+// can repair immediately, then the node detaches from the network.
+func (n *Node) Leave() {
+	if !n.active {
+		return
+	}
+	entries := n.Leafset()
+	msg := notifyLeave{From: n.self, Entries: append(entries, n.self)}
+	for _, e := range entries {
+		n.send(e, 64+8*len(msg.Entries), msg)
+	}
+	n.Stop()
+}
+
+// Stop halts timers and detaches without notifying anyone (a crash).
+func (n *Node) Stop() {
+	n.active = false
+	if n.cancelHB != nil {
+		n.cancelHB()
+		n.cancelHB = nil
+	}
+	if n.cancelFF != nil {
+		n.cancelFF()
+		n.cancelFF = nil
+	}
+	n.net.Detach(n.self.Addr)
+}
+
+// RegisterGossip attaches a heartbeat-piggyback subsystem. The order of
+// registration fixes the payload slot order on the wire, so register
+// the same subsystems in the same order on every node.
+func (n *Node) RegisterGossip(g Gossip) { n.gossips = append(n.gossips, g) }
+
+// OnRouted registers a handler for messages routed to keys this node
+// owns. Multiple subsystems may register; each receives every delivery
+// and ignores payload types it does not understand.
+func (n *Node) OnRouted(h RouteHandler) { n.routeHandlers = append(n.routeHandlers, h) }
+
+// OnApp registers a handler for direct application messages. As with
+// OnRouted, all registered handlers see every message.
+func (n *Node) OnApp(h AppHandler) { n.appHandlers = append(n.appHandlers, h) }
+
+// Network returns the transport the node runs on (clock and timers for
+// subsystems layered on the node).
+func (n *Node) Network() transport.Network { return n.net }
+
+// OnZoneChange registers a callback fired whenever the node's
+// responsible zone changes (new predecessor).
+func (n *Node) OnZoneChange(f func(old, new ids.Zone)) {
+	n.onZoneChange = append(n.onZoneChange, f)
+}
+
+// Zone returns the node's current responsible zone (pred, self].
+func (n *Node) Zone() ids.Zone { return n.zone() }
+
+func (n *Node) zone() ids.Zone {
+	pred := n.Predecessor()
+	if pred.IsZero() {
+		return ids.Zone{Start: n.self.ID, End: n.self.ID} // whole ring
+	}
+	return ids.Zone{Start: pred.ID, End: n.self.ID}
+}
+
+// Predecessor returns the closest counterclockwise neighbor, or NoEntry.
+func (n *Node) Predecessor() Entry {
+	if len(n.sorted) == 0 {
+		return NoEntry
+	}
+	// sorted is ordered by clockwise distance from self; the
+	// predecessor is the entry with the largest clockwise distance
+	// (equivalently smallest counterclockwise distance).
+	return n.sorted[len(n.sorted)-1]
+}
+
+// Successor returns the closest clockwise neighbor, or NoEntry.
+func (n *Node) Successor() Entry {
+	if len(n.sorted) == 0 {
+		return NoEntry
+	}
+	return n.sorted[0]
+}
+
+// Leafset returns the node's current leafset: up to LeafsetRadius
+// entries on each side, ordered clockwise starting from the successor.
+// The slice is freshly allocated.
+func (n *Node) Leafset() []Entry {
+	return append([]Entry(nil), n.sorted...)
+}
+
+// LeafsetSize returns the number of distinct leafset members.
+func (n *Node) LeafsetSize() int { return len(n.sorted) }
+
+// send transmits a protocol message.
+func (n *Node) send(to Entry, size int, msg transport.Message) {
+	if to.IsZero() || to.Addr == n.self.Addr {
+		return
+	}
+	n.net.Send(n.self.Addr, to.Addr, size, msg)
+}
+
+// SendApp sends a direct application message of the given wire size.
+func (n *Node) SendApp(to Entry, size int, payload interface{}) {
+	n.send(to, size, appMsg{From: n.self, Payload: payload})
+}
+
+// Route forwards payload toward the owner of key. If this node owns the
+// key the handler runs locally (synchronously).
+func (n *Node) Route(key ids.ID, size int, payload interface{}) {
+	n.routeMsg(routed{Key: key, Origin: n.self, Size: size, Payload: payload})
+}
+
+// --- message pump ---
+
+func (n *Node) onMessage(from transport.Addr, msg transport.Message) {
+	if !n.active {
+		return
+	}
+	switch m := msg.(type) {
+	case heartbeat:
+		n.onHeartbeat(m)
+	case heartbeatAck:
+		n.onHeartbeatAck(m)
+	case routed:
+		n.routeMsg(m)
+	case appMsg:
+		n.touch(m.From)
+		for _, h := range n.appHandlers {
+			h(m.From, m.Payload)
+		}
+	case joinReply:
+		n.onJoinReply(m)
+	case leafsetRequest:
+		n.touch(m.From)
+		n.send(m.From, 64+8*len(n.sorted), leafsetReply{From: n.self, Entries: append(n.Leafset(), n.self)})
+	case leafsetReply:
+		n.touch(m.From)
+		n.merge(m.Entries...)
+	case notifyLeave:
+		n.bury(m.From.ID)
+		n.merge(m.Entries...)
+	case fingerResult:
+		if m.Index >= 0 && m.Index < len(n.fingers) && m.Owner.Addr != n.self.Addr {
+			n.fingers[m.Index] = m.Owner
+		}
+	default:
+		panic(fmt.Sprintf("dht: unknown message type %T", msg))
+	}
+}
+
+// --- membership ---
+
+// touch records liveness for a peer and adds it to the candidate set.
+// Direct evidence of life clears any tombstone.
+func (n *Node) touch(e Entry) {
+	if e.Addr == n.self.Addr || e.IsZero() {
+		return
+	}
+	delete(n.tombstones, e.ID)
+	n.lastContact[e.ID] = n.net.Now()
+	if nb, ok := n.neighbors[e.ID]; ok {
+		nb.lastHeard = n.net.Now()
+		return
+	}
+	n.neighbors[e.ID] = &neighbor{entry: e, lastHeard: n.net.Now()}
+	n.rebuild()
+}
+
+// merge adds gossiped entries (grace-period liveness) and prunes.
+// Tombstoned entries are ignored: second-hand gossip must not
+// resurrect a node we know to be dead.
+func (n *Node) merge(entries ...Entry) {
+	changed := false
+	now := n.net.Now()
+	for _, e := range entries {
+		if e.IsZero() || e.Addr == n.self.Addr {
+			continue
+		}
+		if exp, dead := n.tombstones[e.ID]; dead {
+			if now < exp {
+				continue
+			}
+			delete(n.tombstones, e.ID)
+		}
+		if _, ok := n.neighbors[e.ID]; !ok {
+			n.neighbors[e.ID] = &neighbor{entry: e, lastHeard: now}
+			changed = true
+		}
+	}
+	if changed {
+		n.rebuild()
+	}
+}
+
+// bury tombstones a departed node and removes it from the leafset and
+// finger table.
+func (n *Node) bury(id ids.ID) {
+	n.tombstones[id] = n.net.Now() + 2*n.cfg.FailureTimeout
+	n.purgeFinger(id)
+	if _, ok := n.neighbors[id]; !ok {
+		return
+	}
+	delete(n.neighbors, id)
+	n.rebuild()
+}
+
+// purgeFinger clears finger entries pointing at a dead node so routed
+// traffic stops black-holing through them.
+func (n *Node) purgeFinger(id ids.ID) {
+	for i, f := range n.fingers {
+		if !f.IsZero() && f.ID == id {
+			n.fingers[i] = NoEntry
+		}
+	}
+}
+
+// rebuild recomputes the sorted leafset view, pruning neighbors that no
+// longer qualify for either side, and fires zone-change callbacks.
+func (n *Node) rebuild() {
+	all := make([]Entry, 0, len(n.neighbors))
+	for _, nb := range n.neighbors {
+		all = append(all, nb.entry)
+	}
+	// Order all candidates by clockwise distance from self.
+	sort.Slice(all, func(i, j int) bool {
+		return ids.Dist(n.self.ID, all[i].ID) < ids.Dist(n.self.ID, all[j].ID)
+	})
+	r := n.cfg.LeafsetRadius
+	keep := make(map[ids.ID]bool, 2*r)
+	// r closest clockwise (successor side).
+	for i := 0; i < len(all) && i < r; i++ {
+		keep[all[i].ID] = true
+	}
+	// r closest counterclockwise (predecessor side): the tail.
+	for i := 0; i < len(all) && i < r; i++ {
+		keep[all[len(all)-1-i].ID] = true
+	}
+	// Prune the rest.
+	for id := range n.neighbors {
+		if !keep[id] {
+			delete(n.neighbors, id)
+		}
+	}
+	n.sorted = n.sorted[:0]
+	for _, e := range all {
+		if keep[e.ID] {
+			n.sorted = append(n.sorted, e)
+		}
+	}
+	n.zoneMaybeChanged()
+}
+
+func (n *Node) zoneMaybeChanged() {
+	z := n.zone()
+	if z == n.lastZone {
+		return
+	}
+	old := n.lastZone
+	n.lastZone = z
+	for _, f := range n.onZoneChange {
+		f(old, z)
+	}
+}
+
+// --- heartbeats & failure handling ---
+
+func (n *Node) startTimers() {
+	if n.cancelHB == nil {
+		// Desynchronize first beats across nodes.
+		first := eventsim.Time(n.net.Rand().Float64()) * n.cfg.HeartbeatInterval
+		n.cancelHB = n.net.After(first, n.heartbeatTick)
+	}
+	if n.cancelFF == nil && n.cfg.Fingers > 0 {
+		first := eventsim.Time(n.net.Rand().Float64()) * n.cfg.FixFingersInterval
+		n.cancelFF = n.net.After(first, n.fixFingersTick)
+	}
+}
+
+func (n *Node) heartbeatTick() {
+	if !n.active {
+		return
+	}
+	n.checkFailures()
+	hb := heartbeat{
+		From:    n.self,
+		SentAt:  n.net.Now(),
+		Entries: n.gossipSample(),
+	}
+	for _, e := range n.sorted {
+		hb.Payload = n.collectPayloads(e)
+		n.send(e, n.heartbeatSize(hb), hb)
+		n.stats.HeartbeatsSent++
+	}
+	n.probeOneFinger(hb)
+	n.cancelHB = n.net.After(n.cfg.HeartbeatInterval, n.heartbeatTick)
+}
+
+// probeOneFinger sends a liveness heartbeat to one finger per tick
+// (round-robin) and purges fingers that stayed silent past the failure
+// timeout. Leafset failure detection does not cover fingers, and a
+// dead finger otherwise black-holes routed traffic until the slow
+// random refresh happens to replace it.
+func (n *Node) probeOneFinger(hb heartbeat) {
+	now := n.net.Now()
+	// First, expire outstanding probes that got no answer.
+	for id, sentAt := range n.fingerProbe {
+		if now-sentAt <= n.cfg.FailureTimeout {
+			continue
+		}
+		if heard, ok := n.lastContact[id]; !ok || heard < sentAt {
+			n.tombstones[id] = now + 2*n.cfg.FailureTimeout
+			n.purgeFinger(id)
+		}
+		delete(n.fingerProbe, id)
+	}
+	if len(n.fingers) == 0 {
+		return
+	}
+	for tries := 0; tries < len(n.fingers); tries++ {
+		n.probeCursor = (n.probeCursor + 1) % len(n.fingers)
+		f := n.fingers[n.probeCursor]
+		if f.IsZero() {
+			continue
+		}
+		if _, ok := n.neighbors[f.ID]; ok {
+			return // already heartbeated as a leafset member
+		}
+		if _, pending := n.fingerProbe[f.ID]; pending {
+			return
+		}
+		n.fingerProbe[f.ID] = now
+		hb.Payload = n.collectPayloads(f)
+		n.send(f, n.heartbeatSize(hb), hb)
+		n.stats.HeartbeatsSent++
+		return
+	}
+}
+
+func (n *Node) heartbeatSize(hb heartbeat) int {
+	return n.cfg.HeartbeatBytes + 8*len(hb.Entries)
+}
+
+// gossipSample returns a few leafset entries to disseminate membership.
+func (n *Node) gossipSample() []Entry {
+	const sample = 4
+	if len(n.sorted) <= sample {
+		return append([]Entry(nil), n.sorted...)
+	}
+	out := make([]Entry, 0, sample)
+	// Successor, predecessor and two random members: ends keep ring
+	// consistency tight, randoms spread global membership.
+	out = append(out, n.sorted[0], n.sorted[len(n.sorted)-1])
+	for len(out) < sample {
+		out = append(out, n.sorted[n.net.Rand().Intn(len(n.sorted))])
+	}
+	return out
+}
+
+func (n *Node) collectPayloads(peer Entry) []interface{} {
+	if len(n.gossips) == 0 {
+		return nil
+	}
+	out := make([]interface{}, len(n.gossips))
+	for i, g := range n.gossips {
+		out[i] = g.HeartbeatPayload(peer)
+	}
+	return out
+}
+
+func (n *Node) deliverPayloads(peer Entry, rtt float64, payloads []interface{}) {
+	for i, g := range n.gossips {
+		var p interface{}
+		if i < len(payloads) {
+			p = payloads[i]
+		}
+		g.OnHeartbeat(peer, rtt, p)
+	}
+}
+
+func (n *Node) onHeartbeat(m heartbeat) {
+	n.touch(m.From)
+	n.merge(m.Entries...)
+	// The request leg carries no fresh RTT sample.
+	n.deliverPayloads(m.From, -1, m.Payload)
+	ack := heartbeatAck{
+		From:    n.self,
+		SentAt:  m.SentAt,
+		Entries: n.gossipSample(),
+		Payload: n.collectPayloads(m.From),
+	}
+	n.send(m.From, n.cfg.HeartbeatBytes+8*len(ack.Entries), ack)
+}
+
+func (n *Node) onHeartbeatAck(m heartbeatAck) {
+	n.touch(m.From)
+	n.merge(m.Entries...)
+	n.stats.AcksReceived++
+	rtt := float64(n.net.Now() - m.SentAt)
+	n.deliverPayloads(m.From, rtt, m.Payload)
+}
+
+func (n *Node) checkFailures() {
+	now := n.net.Now()
+	// Bound auxiliary liveness state: forget contacts that have gone
+	// quiet for a long time (they re-enter on the next message).
+	for id, at := range n.lastContact {
+		if now-at > 8*n.cfg.FailureTimeout {
+			delete(n.lastContact, id)
+		}
+	}
+	var dead []ids.ID
+	for id, nb := range n.neighbors {
+		if now-nb.lastHeard > n.cfg.FailureTimeout {
+			dead = append(dead, id)
+		}
+	}
+	if len(dead) == 0 {
+		return
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
+	for _, id := range dead {
+		n.tombstones[id] = now + 2*n.cfg.FailureTimeout
+		n.purgeFinger(id)
+		delete(n.neighbors, id)
+		n.stats.Failures++
+	}
+	n.rebuild()
+	// Repair: pull fresh leafsets from the nearest survivors on both sides.
+	if s := n.Successor(); !s.IsZero() {
+		n.send(s, 64, leafsetRequest{From: n.self})
+	}
+	if p := n.Predecessor(); !p.IsZero() {
+		n.send(p, 64, leafsetRequest{From: n.self})
+	}
+}
+
+// --- join ---
+
+func (n *Node) onJoinReply(m joinReply) {
+	n.touch(m.Admitter)
+	n.merge(m.Entries...)
+	// Announce ourselves to our new leafset immediately rather than
+	// waiting for the next heartbeat tick.
+	hb := heartbeat{From: n.self, SentAt: n.net.Now(), Entries: n.gossipSample()}
+	for _, e := range n.sorted {
+		hb.Payload = n.collectPayloads(e)
+		n.send(e, n.heartbeatSize(hb), hb)
+	}
+}

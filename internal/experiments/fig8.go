@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2ppool/internal/alm"
+	"p2ppool/internal/core"
+	"p2ppool/internal/topology"
+)
+
+// Fig8Options parameterizes the single-session ALM experiment.
+type Fig8Options struct {
+	// Hosts in the resource pool (paper: 1200 — the whole population).
+	Hosts int
+	// GroupSizes to sweep (session sizes including the root).
+	GroupSizes []int
+	// Runs per group size (paper: 20).
+	Runs int
+	// Radius R for helper admission.
+	Radius float64
+	Seed   int64
+}
+
+func (o Fig8Options) withDefaults() Fig8Options {
+	if o.Hosts <= 0 {
+		o.Hosts = 1200
+	}
+	if len(o.GroupSizes) == 0 {
+		o.GroupSizes = []int{10, 20, 40, 60, 80, 100, 150, 200}
+	}
+	if o.Runs <= 0 {
+		o.Runs = 20
+	}
+	if o.Radius <= 0 {
+		o.Radius = 100
+	}
+	return o
+}
+
+// Fig8Row holds the average improvements over plain AMCast at one
+// group size — the series of Figure 8.
+type Fig8Row struct {
+	GroupSize    int
+	AMCastAdjust float64 // adjust moves only, members only
+	Critical     float64 // helpers with oracle latency
+	CriticalAdj  float64
+	Leafset      float64 // helpers with coordinate vicinity judgment
+	LeafsetAdj   float64
+	Bound        float64 // theoretical star upper bound
+	Helpers      float64 // avg helpers recruited by Critical+adjust
+}
+
+// Fig8Result reproduces Figure 8.
+type Fig8Result struct {
+	Opts Fig8Options
+	Rows []Fig8Row
+}
+
+// Fig8 runs the experiment: for each group size, Runs random sessions
+// are planned by every algorithm over the same pool, and improvements
+// are measured against plain AMCast with true latencies.
+func Fig8(opts Fig8Options) (*Fig8Result, error) {
+	opts = opts.withDefaults()
+	top := topology.DefaultConfig()
+	top.Hosts = opts.Hosts
+	top.Seed = opts.Seed
+	pool, err := core.BuildFast(core.Options{Topology: top, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{Opts: opts}
+	r := rand.New(rand.NewSource(opts.Seed + 1))
+	for _, gs := range opts.GroupSizes {
+		if gs < 2 || gs > opts.Hosts {
+			return nil, fmt.Errorf("experiments: group size %d out of range", gs)
+		}
+		var row Fig8Row
+		row.GroupSize = gs
+		for run := 0; run < opts.Runs; run++ {
+			perm := r.Perm(opts.Hosts)
+			root, members := perm[0], perm[1:gs]
+
+			base, err := pool.PlanSession(root, members, core.PlanOptions{NoHelpers: true, Radius: opts.Radius})
+			if err != nil {
+				return nil, err
+			}
+			hBase := base.MaxHeight(pool.TrueLatency)
+
+			measure := func(opt core.PlanOptions) (float64, *alm.Tree, error) {
+				opt.Radius = opts.Radius
+				tr, err := pool.PlanSession(root, members, opt)
+				if err != nil {
+					return 0, nil, err
+				}
+				return alm.Improvement(hBase, tr.MaxHeight(pool.TrueLatency)), tr, nil
+			}
+
+			imp, _, err := measure(core.PlanOptions{NoHelpers: true, Adjust: true})
+			if err != nil {
+				return nil, err
+			}
+			row.AMCastAdjust += imp
+
+			imp, _, err = measure(core.PlanOptions{Mode: core.Critical})
+			if err != nil {
+				return nil, err
+			}
+			row.Critical += imp
+
+			imp, critTree, err := measure(core.PlanOptions{Mode: core.Critical, Adjust: true})
+			if err != nil {
+				return nil, err
+			}
+			row.CriticalAdj += imp
+			row.Helpers += float64(critTree.Size() - gs)
+
+			imp, _, err = measure(core.PlanOptions{Mode: core.Leafset})
+			if err != nil {
+				return nil, err
+			}
+			row.Leafset += imp
+
+			imp, _, err = measure(core.PlanOptions{Mode: core.Leafset, Adjust: true})
+			if err != nil {
+				return nil, err
+			}
+			row.LeafsetAdj += imp
+
+			prob := alm.Problem{Root: root, Members: members, Latency: pool.TrueLatency, Degree: pool.DegreeBound}
+			row.Bound += alm.BoundImprovement(prob, hBase)
+		}
+		n := float64(opts.Runs)
+		row.AMCastAdjust /= n
+		row.Critical /= n
+		row.CriticalAdj /= n
+		row.Leafset /= n
+		row.LeafsetAdj /= n
+		row.Bound /= n
+		row.Helpers /= n
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Tables renders the Figure 8 series.
+func (r *Fig8Result) Tables() []Table {
+	t := Table{
+		Title: "Figure 8: tree-height improvement over AMCast vs group size",
+		Columns: []string{"group", "AMCast+adju", "Critical", "Critical+adju",
+			"Leafset", "Leafset+adju", "Bound", "helpers(Crit+adju)"},
+		Note: "paper shape: bound 40-50%; Critical+adju ~35% at group 20; Leafset+adju " +
+			">=30% at 100 and ~35% at 20 (ours trails Critical slightly); adjust alone ~5%; " +
+			"gains shrink as groups grow (large groups already contain high-degree members)",
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			d(row.GroupSize),
+			f3(row.AMCastAdjust),
+			f3(row.Critical),
+			f3(row.CriticalAdj),
+			f3(row.Leafset),
+			f3(row.LeafsetAdj),
+			f3(row.Bound),
+			f1(row.Helpers),
+		})
+	}
+	return []Table{t}
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+
+	"p2ppool/internal/dht"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/somo"
+	"p2ppool/internal/transport"
+)
+
+// SOMOOptions parameterizes the SOMO aggregation study (the Section
+// 3.2 analysis: gather latency bounds log_k(N)*T unsynchronized vs
+// T + t_hop*log_k(N) synchronized, and the self-scaling tree depth).
+type SOMOOptions struct {
+	// Sizes of the simulated rings.
+	Sizes []int
+	// Fanouts of the logical tree.
+	Fanouts []int
+	// ReportInterval T.
+	ReportInterval eventsim.Time
+	// HopLatency is the uniform one-way latency between members.
+	HopLatency float64
+	// Runtime of each simulation.
+	Runtime eventsim.Time
+	Seed    int64
+}
+
+func (o SOMOOptions) withDefaults() SOMOOptions {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{64, 256}
+	}
+	if len(o.Fanouts) == 0 {
+		o.Fanouts = []int{2, 8}
+	}
+	if o.ReportInterval <= 0 {
+		o.ReportInterval = 5 * eventsim.Second
+	}
+	if o.HopLatency <= 0 {
+		o.HopLatency = 100
+	}
+	if o.Runtime <= 0 {
+		o.Runtime = 3 * eventsim.Minute
+	}
+	return o
+}
+
+// SOMORow is one configuration's measurements.
+type SOMORow struct {
+	Nodes  int
+	Fanout int
+	Sync   bool
+	// Depth is the maximum representative level observed.
+	Depth int
+	// LogBound is ceil(log_fanout(Nodes)), the analytic depth bound.
+	LogBound int
+	// Staleness is the worst record age in the root snapshot at the
+	// end of the run (ms).
+	Staleness float64
+	// StalenessBound is the analytic gather-latency bound for the
+	// configuration: depth*T unsynchronized, T + t_hop*depth
+	// synchronized.
+	StalenessBound float64
+	// Records is the number of members captured in the root snapshot.
+	Records int
+	// MsgsPerNodeSec is total SOMO+DHT traffic per node per second.
+	MsgsPerNodeSec float64
+}
+
+// SOMOResult is the measured study plus the paper's 2M-node analytic
+// extrapolation.
+type SOMOResult struct {
+	Opts SOMOOptions
+	Rows []SOMORow
+}
+
+// SOMOExperiment runs live SOMO over simulated rings and measures
+// depth, gather staleness and traffic, for both flow modes.
+func SOMOExperiment(opts SOMOOptions) (*SOMOResult, error) {
+	opts = opts.withDefaults()
+	res := &SOMOResult{Opts: opts}
+	for _, n := range opts.Sizes {
+		for _, fanout := range opts.Fanouts {
+			for _, sync := range []bool{false, true} {
+				row, err := somoRun(n, fanout, sync, opts)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	return res, nil
+}
+
+func somoRun(n, fanout int, sync bool, opts SOMOOptions) (SOMORow, error) {
+	engine := eventsim.New(opts.Seed + int64(n*10+fanout))
+	net := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, b int) float64 {
+			if a == b {
+				return 0
+			}
+			return opts.HopLatency
+		},
+	})
+	r := rand.New(rand.NewSource(opts.Seed + int64(n+fanout)))
+	idList := dht.RandomIDs(n, r)
+	addrs := make([]transport.Addr, n)
+	for i := range addrs {
+		addrs[i] = transport.Addr(i)
+	}
+	nodes, err := dht.BuildRing(net, idList, addrs, dht.Config{LeafsetRadius: 8})
+	if err != nil {
+		return SOMORow{}, err
+	}
+	cfg := somo.Config{Fanout: fanout, ReportInterval: opts.ReportInterval, Synchronized: sync}
+	agents := make([]*somo.Agent, n)
+	for i, nd := range nodes {
+		i := i
+		agents[i] = somo.NewAgent(nd, cfg, func() interface{} { return i })
+	}
+	engine.RunUntil(opts.Runtime)
+
+	row := SOMORow{Nodes: n, Fanout: fanout, Sync: sync}
+	var root *somo.Agent
+	for _, a := range agents {
+		if a.IsRoot() {
+			root = a
+		}
+		if l := a.Representative().Level; l > row.Depth {
+			row.Depth = l
+		}
+	}
+	if root == nil {
+		return row, nil
+	}
+	var snap somo.Snapshot
+	root.Query(func(s somo.Snapshot) { snap = s })
+	row.Records = len(snap.Records)
+	for _, rec := range snap.Records {
+		if age := float64(snap.Time - rec.Time); age > row.Staleness {
+			row.Staleness = age
+		}
+	}
+	row.LogBound = int(math.Ceil(math.Log(float64(n)) / math.Log(float64(fanout))))
+	if sync {
+		// One wave round-trip: per level, a pull hop down, a gather
+		// window, and a report hop up; plus at most one interval since
+		// the previous wave refreshed the leaves.
+		window := float64(400) // somo.Config default GatherWindow
+		row.StalenessBound = float64(opts.ReportInterval) +
+			float64(row.Depth+1)*(window+2*opts.HopLatency)
+	} else {
+		row.StalenessBound = float64(opts.ReportInterval) * float64(row.Depth+1)
+	}
+	stats := net.Stats()
+	row.MsgsPerNodeSec = float64(stats.MessagesSent) / float64(n) /
+		(float64(opts.Runtime) / 1000)
+	return row, nil
+}
+
+// Tables renders the study plus the Section 3.2 extrapolation.
+func (r *SOMOResult) Tables() []Table {
+	t := Table{
+		Title: "SOMO aggregation: depth, gather staleness and traffic (Section 3.2)",
+		Columns: []string{"nodes", "fanout", "flow", "depth", "log_k(N)",
+			"records", "staleness ms", "bound ms", "msgs/node/s"},
+		Note: "unsynchronized flow is bounded by ~depth*T; synchronized by T + t_hop*depth; " +
+			"depth tracks log_k(N) (plus zone-size skew)",
+	}
+	for _, row := range r.Rows {
+		flow := "unsync"
+		if row.Sync {
+			flow = "sync"
+		}
+		t.Rows = append(t.Rows, []string{
+			d(row.Nodes), d(row.Fanout), flow, d(row.Depth), d(row.LogBound),
+			d(row.Records), f1(row.Staleness), f1(row.StalenessBound),
+			f3(row.MsgsPerNodeSec),
+		})
+	}
+	// The paper's headline extrapolation: 2M nodes, k=8, 200 ms/hop.
+	ana := Table{
+		Title:   "Section 3.2 analytic extrapolation: t_hop * log_k(N)",
+		Columns: []string{"nodes", "fanout", "hop ms", "root lag (s)"},
+		Note:    "the paper quotes 1.6 s for 2M nodes, k=8, 200 ms per hop",
+	}
+	for _, n := range []float64{1e4, 1e5, 2e6} {
+		for _, k := range []float64{4, 8, 16} {
+			lag := 200 * math.Log(n) / math.Log(k) / 1000
+			ana.Rows = append(ana.Rows, []string{
+				fmt6(n), d(int(k)), "200", f3(lag),
+			})
+		}
+	}
+	return []Table{t, ana}
+}
+
+func fmt6(x float64) string {
+	if x >= 1e6 {
+		return f1(x/1e6) + "M"
+	}
+	if x >= 1e3 {
+		return f1(x/1e3) + "k"
+	}
+	return f1(x)
+}

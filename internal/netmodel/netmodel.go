@@ -1,0 +1,214 @@
+// Package netmodel models end-host access-link capacities and the
+// packet-pair bottleneck measurement the paper's Section 4.2 builds on.
+//
+// The paper evaluates its bottleneck-bandwidth estimator on the Saroiu
+// et al. Gnutella measurement trace, which is proprietary. This package
+// substitutes a synthetic capacity mixture over the access-technology
+// classes that study reports (modem, ISDN, DSL, cable, T1 and better),
+// preserving the two properties the paper's result depends on:
+//
+//  1. capacities are heavy-tailed across several orders of magnitude, and
+//  2. most hosts' downlink capacity exceeds most other hosts' uplink
+//     capacity (asymmetric consumer access links), which is why uplink
+//     estimation saturates to exact while downlink estimation can stay
+//     underestimated (Fig. 5).
+//
+// The common assumption adopted from the paper: the bottleneck link is
+// the last hop, so the bottleneck bandwidth of a path x -> y is
+// min(uplink(x), downlink(y)).
+package netmodel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Kbps is link capacity in kilobits per second.
+type Kbps = float64
+
+// Class describes one access-technology population in the mixture.
+type Class struct {
+	Name string
+	// Fraction of the host population in this class. Fractions across
+	// the mixture should sum to 1 (Validate checks within 1e-6).
+	Fraction float64
+	// Up and Down are the nominal uplink/downlink capacities.
+	Up   Kbps
+	Down Kbps
+	// Jitter is the relative spread applied uniformly at draw time, so
+	// hosts in a class are not bit-identical: capacity is drawn from
+	// nominal * [1-Jitter, 1+Jitter].
+	Jitter float64
+}
+
+// GnutellaMixture returns the default synthetic population modeled on
+// the access-technology breakdown of the Saroiu et al. Gnutella study:
+// a small dial-up share, a majority of asymmetric broadband (DSL and
+// cable), and a well-provisioned tail (T1/T3, campus links).
+func GnutellaMixture() []Class {
+	return []Class{
+		{Name: "modem", Fraction: 0.08, Up: 33.6, Down: 56, Jitter: 0.1},
+		{Name: "isdn", Fraction: 0.05, Up: 128, Down: 128, Jitter: 0.05},
+		{Name: "dsl", Fraction: 0.35, Up: 128, Down: 1500, Jitter: 0.2},
+		{Name: "cable", Fraction: 0.30, Up: 400, Down: 3000, Jitter: 0.2},
+		{Name: "t1", Fraction: 0.15, Up: 1544, Down: 1544, Jitter: 0.05},
+		{Name: "t3+", Fraction: 0.07, Up: 10000, Down: 10000, Jitter: 0.1},
+	}
+}
+
+// ValidateMixture checks that the mixture is well-formed.
+func ValidateMixture(classes []Class) error {
+	if len(classes) == 0 {
+		return fmt.Errorf("netmodel: empty class mixture")
+	}
+	total := 0.0
+	for _, c := range classes {
+		if c.Fraction < 0 {
+			return fmt.Errorf("netmodel: class %q has negative fraction", c.Name)
+		}
+		if c.Up <= 0 || c.Down <= 0 {
+			return fmt.Errorf("netmodel: class %q has non-positive capacity", c.Name)
+		}
+		if c.Jitter < 0 || c.Jitter >= 1 {
+			return fmt.Errorf("netmodel: class %q jitter %g outside [0,1)", c.Name, c.Jitter)
+		}
+		total += c.Fraction
+	}
+	if total < 1-1e-6 || total > 1+1e-6 {
+		return fmt.Errorf("netmodel: class fractions sum to %g, want 1", total)
+	}
+	return nil
+}
+
+// Host is one end system's access-link capacities.
+type Host struct {
+	Class string
+	Up    Kbps
+	Down  Kbps
+}
+
+// Model holds capacities for a host population and answers path
+// bottleneck and packet-pair queries.
+type Model struct {
+	hosts []Host
+	// measurementNoise is the relative noise applied to packet-pair
+	// dispersion measurements (queueing, clock granularity).
+	measurementNoise float64
+}
+
+// Options configures population generation.
+type Options struct {
+	// Classes is the mixture to draw from; nil means GnutellaMixture.
+	Classes []Class
+	// MeasurementNoise is the relative error applied to each simulated
+	// packet-pair measurement (default 0: a clean measurement channel;
+	// the paper's protocol analysis is about estimation structure, and
+	// noise is an ablation knob).
+	MeasurementNoise float64
+	// Seed drives generation; the same seed reproduces the population.
+	Seed int64
+}
+
+// New draws a population of n hosts from the mixture.
+func New(n int, opt Options) (*Model, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("netmodel: population size must be positive, got %d", n)
+	}
+	classes := opt.Classes
+	if classes == nil {
+		classes = GnutellaMixture()
+	}
+	if err := ValidateMixture(classes); err != nil {
+		return nil, err
+	}
+	if opt.MeasurementNoise < 0 || opt.MeasurementNoise >= 1 {
+		return nil, fmt.Errorf("netmodel: measurement noise %g outside [0,1)", opt.MeasurementNoise)
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+	m := &Model{
+		hosts:            make([]Host, n),
+		measurementNoise: opt.MeasurementNoise,
+	}
+	for i := 0; i < n; i++ {
+		c := pickClass(classes, r.Float64())
+		jit := func(v Kbps) Kbps {
+			if c.Jitter == 0 {
+				return v
+			}
+			return v * (1 - c.Jitter + 2*c.Jitter*r.Float64())
+		}
+		m.hosts[i] = Host{Class: c.Name, Up: jit(c.Up), Down: jit(c.Down)}
+	}
+	return m, nil
+}
+
+func pickClass(classes []Class, u float64) Class {
+	acc := 0.0
+	for _, c := range classes {
+		acc += c.Fraction
+		if u < acc {
+			return c
+		}
+	}
+	return classes[len(classes)-1]
+}
+
+// NumHosts returns the population size.
+func (m *Model) NumHosts() int { return len(m.hosts) }
+
+// Host returns host h's capacities.
+func (m *Model) Host(h int) Host { return m.hosts[h] }
+
+// Up returns host h's true uplink capacity.
+func (m *Model) Up(h int) Kbps { return m.hosts[h].Up }
+
+// Down returns host h's true downlink capacity.
+func (m *Model) Down(h int) Kbps { return m.hosts[h].Down }
+
+// PathBottleneck returns the true bottleneck bandwidth of the path from
+// src to dst under the last-hop-bottleneck assumption:
+// min(uplink(src), downlink(dst)).
+func (m *Model) PathBottleneck(src, dst int) Kbps {
+	up := m.hosts[src].Up
+	down := m.hosts[dst].Down
+	if up < down {
+		return up
+	}
+	return down
+}
+
+// PacketPair simulates a packet-pair probe of size bytes from src to
+// dst and returns the estimated bottleneck bandwidth S/T, where T is
+// the inter-arrival dispersion. With zero configured noise the estimate
+// equals the true path bottleneck; otherwise the dispersion is
+// perturbed by a uniform relative error, matching how queueing noise
+// corrupts real dispersion measurements. The rng parameter supplies
+// per-probe randomness (pass a deterministic source for reproducible
+// experiments); it may be nil when the model is noise-free.
+func (m *Model) PacketPair(src, dst int, sizeBytes int, rng *rand.Rand) Kbps {
+	bn := m.PathBottleneck(src, dst)
+	if m.measurementNoise == 0 || rng == nil {
+		return bn
+	}
+	// dispersion T = S/bn; noisy T' = T * (1 +/- noise); estimate = S/T'.
+	f := 1 - m.measurementNoise + 2*m.measurementNoise*rng.Float64()
+	return bn / f
+}
+
+// Dispersion returns the packet-pair inter-arrival time in milliseconds
+// for a probe of the given size at the path's true bottleneck:
+// T = S / B, with S in bits and B in kbps giving milliseconds.
+func (m *Model) Dispersion(src, dst int, sizeBytes int) float64 {
+	bits := float64(sizeBytes * 8)
+	return bits / m.PathBottleneck(src, dst)
+}
+
+// ClassCounts tallies the population per class name, primarily for
+// reporting and tests.
+func (m *Model) ClassCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, h := range m.hosts {
+		counts[h.Class]++
+	}
+	return counts
+}

@@ -1,0 +1,209 @@
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGnutellaMixtureValid(t *testing.T) {
+	if err := ValidateMixture(GnutellaMixture()); err != nil {
+		t.Fatalf("default mixture invalid: %v", err)
+	}
+}
+
+func TestValidateMixtureErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		classes []Class
+	}{
+		{"empty", nil},
+		{"negative fraction", []Class{{Name: "x", Fraction: -0.5, Up: 1, Down: 1}, {Name: "y", Fraction: 1.5, Up: 1, Down: 1}}},
+		{"zero capacity", []Class{{Name: "x", Fraction: 1, Up: 0, Down: 1}}},
+		{"bad jitter", []Class{{Name: "x", Fraction: 1, Up: 1, Down: 1, Jitter: 1}}},
+		{"fractions not 1", []Class{{Name: "x", Fraction: 0.4, Up: 1, Down: 1}}},
+	}
+	for _, c := range cases {
+		if err := ValidateMixture(c.classes); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(0, Options{}); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := New(10, Options{MeasurementNoise: -0.1}); err == nil {
+		t.Error("negative noise should fail")
+	}
+	if _, err := New(10, Options{MeasurementNoise: 1}); err == nil {
+		t.Error("noise=1 should fail")
+	}
+	if _, err := New(10, Options{Classes: []Class{{Name: "x", Fraction: 0.5, Up: 1, Down: 1}}}); err == nil {
+		t.Error("invalid mixture should fail")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := New(100, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := New(100, Options{Seed: 5})
+	for i := 0; i < 100; i++ {
+		if a.Host(i) != b.Host(i) {
+			t.Fatalf("host %d differs between identical seeds", i)
+		}
+	}
+	c, _ := New(100, Options{Seed: 6})
+	diff := false
+	for i := 0; i < 100; i++ {
+		if a.Host(i) != c.Host(i) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+func TestPopulationShape(t *testing.T) {
+	m, err := New(5000, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := m.ClassCounts()
+	// Each class should be populated roughly by its fraction.
+	for _, c := range GnutellaMixture() {
+		got := float64(counts[c.Name]) / 5000
+		if math.Abs(got-c.Fraction) > 0.05 {
+			t.Errorf("class %s: fraction %.3f, want ~%.3f", c.Name, got, c.Fraction)
+		}
+	}
+	// The asymmetry property Fig. 5 depends on: the median downlink
+	// should exceed the median uplink.
+	ups := make([]float64, m.NumHosts())
+	downs := make([]float64, m.NumHosts())
+	for i := 0; i < m.NumHosts(); i++ {
+		ups[i] = m.Up(i)
+		downs[i] = m.Down(i)
+		if m.Up(i) <= 0 || m.Down(i) <= 0 {
+			t.Fatalf("host %d has non-positive capacity", i)
+		}
+	}
+	var upSum, downSum float64
+	for i := range ups {
+		upSum += ups[i]
+		downSum += downs[i]
+	}
+	if downSum <= upSum {
+		t.Error("aggregate downlink should exceed aggregate uplink (asymmetric access)")
+	}
+}
+
+func TestPathBottleneck(t *testing.T) {
+	m, _ := New(50, Options{Seed: 2})
+	f := func(a, b uint8) bool {
+		src := int(a) % m.NumHosts()
+		dst := int(b) % m.NumHosts()
+		bn := m.PathBottleneck(src, dst)
+		return bn <= m.Up(src) && bn <= m.Down(dst) &&
+			(bn == m.Up(src) || bn == m.Down(dst))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketPairNoiseless(t *testing.T) {
+	m, _ := New(20, Options{Seed: 3})
+	for src := 0; src < 20; src++ {
+		for dst := 0; dst < 20; dst++ {
+			if src == dst {
+				continue
+			}
+			got := m.PacketPair(src, dst, 1500, nil)
+			if got != m.PathBottleneck(src, dst) {
+				t.Fatalf("noiseless packet pair %d->%d = %v, want %v",
+					src, dst, got, m.PathBottleneck(src, dst))
+			}
+		}
+	}
+}
+
+func TestPacketPairNoisy(t *testing.T) {
+	m, _ := New(20, Options{Seed: 3, MeasurementNoise: 0.1})
+	rng := rand.New(rand.NewSource(7))
+	sawDeviation := false
+	for trial := 0; trial < 200; trial++ {
+		src, dst := rng.Intn(20), rng.Intn(20)
+		if src == dst {
+			continue
+		}
+		truth := m.PathBottleneck(src, dst)
+		got := m.PacketPair(src, dst, 1500, rng)
+		rel := math.Abs(got-truth) / truth
+		if rel > 0.12 { // noise bound: 1/(1-0.1)-1 ~= 0.111
+			t.Fatalf("noisy estimate deviates by %v, beyond noise bound", rel)
+		}
+		if rel > 0.001 {
+			sawDeviation = true
+		}
+	}
+	if !sawDeviation {
+		t.Error("noisy model produced no deviation at all")
+	}
+	// nil rng falls back to exact even when noise is configured.
+	if m.PacketPair(0, 1, 1500, nil) != m.PathBottleneck(0, 1) {
+		t.Error("nil rng should produce exact measurement")
+	}
+}
+
+func TestDispersion(t *testing.T) {
+	m, _ := New(10, Options{Seed: 4})
+	// T(ms) = bits / kbps; estimate back: S/T == bottleneck.
+	for src := 0; src < 10; src++ {
+		for dst := 0; dst < 10; dst++ {
+			if src == dst {
+				continue
+			}
+			T := m.Dispersion(src, dst, 1500)
+			est := float64(1500*8) / T
+			if math.Abs(est-m.PathBottleneck(src, dst)) > 1e-9 {
+				t.Fatalf("dispersion inversion mismatch at %d->%d", src, dst)
+			}
+		}
+	}
+}
+
+func TestJitterWithinBounds(t *testing.T) {
+	classes := []Class{{Name: "only", Fraction: 1, Up: 100, Down: 200, Jitter: 0.2}}
+	m, err := New(1000, Options{Seed: 9, Classes: classes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.NumHosts(); i++ {
+		if u := m.Up(i); u < 80-1e-9 || u > 120+1e-9 {
+			t.Fatalf("up %v outside jitter bounds", u)
+		}
+		if d := m.Down(i); d < 160-1e-9 || d > 240+1e-9 {
+			t.Fatalf("down %v outside jitter bounds", d)
+		}
+	}
+}
+
+func TestZeroJitterExact(t *testing.T) {
+	classes := []Class{{Name: "only", Fraction: 1, Up: 100, Down: 200}}
+	m, err := New(10, Options{Seed: 9, Classes: classes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.NumHosts(); i++ {
+		if m.Up(i) != 100 || m.Down(i) != 200 {
+			t.Fatalf("zero jitter should give nominal capacities, got %+v", m.Host(i))
+		}
+	}
+}

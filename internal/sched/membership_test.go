@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDynamicMembership(t *testing.T) {
+	net, degrees := buildWorld(t, 400, 41)
+	sc := NewScheduler(degrees, net.Latency, Config{})
+	r := rand.New(rand.NewSource(42))
+	perm := r.Perm(400)
+	s := &Session{
+		ID:       1,
+		Priority: 2,
+		Root:     perm[0],
+		Members:  append([]int(nil), perm[1:12]...),
+	}
+	if err := sc.AddSession(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the session.
+	newcomer := perm[50]
+	if err := sc.AddMember(1, newcomer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Tree.Contains(newcomer) {
+		t.Fatal("newcomer missing from replanned tree")
+	}
+	if err := s.Tree.Validate(func(v int) int { return degrees[v] }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shrink it again.
+	if err := sc.RemoveMember(1, newcomer); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	// The departed host may remain only as a helper; as a member it is
+	// gone. Check membership list and that all members are present.
+	for _, m := range s.Members {
+		if m == newcomer {
+			t.Fatal("member list still contains the departed host")
+		}
+		if !s.Tree.Contains(m) {
+			t.Fatalf("member %d missing after shrink", m)
+		}
+	}
+	if err := sc.Registry().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMembershipErrors(t *testing.T) {
+	net, degrees := buildWorld(t, 300, 43)
+	sc := NewScheduler(degrees, net.Latency, Config{})
+	r := rand.New(rand.NewSource(44))
+	perm := r.Perm(300)
+	s := &Session{ID: 1, Priority: 1, Root: perm[0], Members: append([]int(nil), perm[1:5]...)}
+	if err := sc.AddSession(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.AddMember(99, perm[10]); err == nil {
+		t.Error("unknown session should fail")
+	}
+	if err := sc.AddMember(1, perm[0]); err == nil {
+		t.Error("adding the root should fail")
+	}
+	if err := sc.AddMember(1, perm[1]); err == nil {
+		t.Error("duplicate member should fail")
+	}
+	if err := sc.RemoveMember(99, perm[1]); err == nil {
+		t.Error("unknown session should fail")
+	}
+	if err := sc.RemoveMember(1, perm[0]); err == nil {
+		t.Error("removing the root should fail")
+	}
+	if err := sc.RemoveMember(1, perm[200]); err == nil {
+		t.Error("removing a non-member should fail")
+	}
+}

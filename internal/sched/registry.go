@@ -1,0 +1,206 @@
+// Package sched implements the paper's market-driven coordination of
+// multiple concurrent ALM sessions (Section 5.3). There is no global
+// scheduler: each session plans for itself with the Leafset+adjust
+// algorithm, armed with the per-node degree tables that SOMO gathers,
+// and competes for helper slots purely on priority. Higher-priority
+// sessions may preempt lower-priority reservations; preempted sessions
+// replan. Members always hold the highest priority on their own nodes,
+// so every session is guaranteed at least its members-only plan.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SessionID identifies a session in degree tables.
+type SessionID int
+
+// MemberPriority is the effective priority a session has on its own
+// members' nodes — stronger than any market priority, so a node can
+// always serve the session it belongs to (Section 5.3: "it is fair to
+// have that job be of the highest priority in that node").
+const MemberPriority = 0
+
+// allocation is one session's hold on some of a node's degree slots.
+type allocation struct {
+	Session  SessionID
+	Priority int // MemberPriority or the session's market priority (1..3)
+	Slots    int
+}
+
+// DegreeTable is one node's capacity ledger: its total degree bound and
+// the per-priority allocations currently holding slots (the paper's
+// Figure 9 structure, gathered and disseminated by SOMO).
+type DegreeTable struct {
+	Bound  int
+	allocs []allocation
+}
+
+// Used returns the total slots currently allocated.
+func (d *DegreeTable) Used() int {
+	s := 0
+	for _, a := range d.allocs {
+		s += a.Slots
+	}
+	return s
+}
+
+// UsedAtOrAbove returns slots held at priority numerically <= p (equal
+// or higher rank) — the slots a priority-p requester cannot preempt.
+func (d *DegreeTable) UsedAtOrAbove(p int) int {
+	s := 0
+	for _, a := range d.allocs {
+		if a.Priority <= p {
+			s += a.Slots
+		}
+	}
+	return s
+}
+
+// AvailableFor returns the slots a priority-p requester could obtain:
+// free slots plus everything preemptable (strictly lower rank).
+func (d *DegreeTable) AvailableFor(p int) int {
+	v := d.Bound - d.UsedAtOrAbove(p)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Allocations returns a copy of the current allocations (reporting).
+func (d *DegreeTable) Allocations() []allocation {
+	return append([]allocation(nil), d.allocs...)
+}
+
+// Registry is the cluster-wide collection of degree tables. In the
+// deployed system each node publishes its table through SOMO and task
+// managers read the root report; the registry is that database.
+type Registry struct {
+	tables []DegreeTable
+}
+
+// NewRegistry creates a registry for hosts 0..len(bounds)-1 with the
+// given degree bounds.
+func NewRegistry(bounds []int) *Registry {
+	r := &Registry{tables: make([]DegreeTable, len(bounds))}
+	for i, b := range bounds {
+		r.tables[i].Bound = b
+	}
+	return r
+}
+
+// NumHosts returns the number of hosts tracked.
+func (r *Registry) NumHosts() int { return len(r.tables) }
+
+// Table returns host h's degree table (read-only use).
+func (r *Registry) Table(h int) *DegreeTable { return &r.tables[h] }
+
+// AvailableFor returns the slots a priority-p requester could obtain on
+// host h.
+func (r *Registry) AvailableFor(h, p int) int { return r.tables[h].AvailableFor(p) }
+
+// Reserve grants sid `slots` slots on host h at priority p, preempting
+// strictly-lower-priority allocations (highest numeric priority first)
+// as needed. It returns the sessions that lost slots. It fails if even
+// full preemption cannot fit the request.
+func (r *Registry) Reserve(h int, slots int, p int, sid SessionID) ([]SessionID, error) {
+	t := &r.tables[h]
+	if slots <= 0 {
+		return nil, fmt.Errorf("sched: reserve of %d slots on host %d", slots, h)
+	}
+	if t.AvailableFor(p) < slots {
+		return nil, fmt.Errorf("sched: host %d cannot fit %d slots at priority %d (bound %d, firm %d)",
+			h, slots, p, t.Bound, t.UsedAtOrAbove(p))
+	}
+	// Preempt lowest-rank holders first until the request fits.
+	var victims []SessionID
+	need := slots - (t.Bound - t.Used())
+	if need > 0 {
+		// Sort preemptable allocations: numerically largest priority
+		// first, then by session for determinism.
+		idx := make([]int, 0, len(t.allocs))
+		for i, a := range t.allocs {
+			if a.Priority > p {
+				idx = append(idx, i)
+			}
+		}
+		sort.Slice(idx, func(x, y int) bool {
+			ax, ay := t.allocs[idx[x]], t.allocs[idx[y]]
+			if ax.Priority != ay.Priority {
+				return ax.Priority > ay.Priority
+			}
+			return ax.Session < ay.Session
+		})
+		drop := map[int]bool{}
+		for _, i := range idx {
+			if need <= 0 {
+				break
+			}
+			drop[i] = true
+			need -= t.allocs[i].Slots
+			victims = append(victims, t.allocs[i].Session)
+		}
+		kept := t.allocs[:0]
+		for i, a := range t.allocs {
+			if !drop[i] {
+				kept = append(kept, a)
+			}
+		}
+		t.allocs = kept
+	}
+	// Merge with an existing allocation by the same session at the
+	// same priority, if any.
+	for i := range t.allocs {
+		if t.allocs[i].Session == sid && t.allocs[i].Priority == p {
+			t.allocs[i].Slots += slots
+			return victims, nil
+		}
+	}
+	t.allocs = append(t.allocs, allocation{Session: sid, Priority: p, Slots: slots})
+	return victims, nil
+}
+
+// Release drops all of sid's allocations on every host.
+func (r *Registry) Release(sid SessionID) {
+	for h := range r.tables {
+		t := &r.tables[h]
+		kept := t.allocs[:0]
+		for _, a := range t.allocs {
+			if a.Session != sid {
+				kept = append(kept, a)
+			}
+		}
+		t.allocs = kept
+	}
+}
+
+// HeldBy returns the total slots sid holds across all hosts.
+func (r *Registry) HeldBy(sid SessionID) int {
+	s := 0
+	for h := range r.tables {
+		for _, a := range r.tables[h].allocs {
+			if a.Session == sid {
+				s += a.Slots
+			}
+		}
+	}
+	return s
+}
+
+// CheckInvariants verifies no table is over-allocated; tests call this
+// after every scheduling wave.
+func (r *Registry) CheckInvariants() error {
+	for h := range r.tables {
+		t := &r.tables[h]
+		if t.Used() > t.Bound {
+			return fmt.Errorf("sched: host %d over-allocated: %d > %d", h, t.Used(), t.Bound)
+		}
+		for _, a := range t.allocs {
+			if a.Slots <= 0 {
+				return fmt.Errorf("sched: host %d has empty allocation for session %d", h, a.Session)
+			}
+		}
+	}
+	return nil
+}

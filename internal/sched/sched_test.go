@@ -1,0 +1,334 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2ppool/internal/alm"
+	"p2ppool/internal/topology"
+)
+
+func TestDegreeTableAccounting(t *testing.T) {
+	r := NewRegistry([]int{4})
+	if got := r.AvailableFor(0, 2); got != 4 {
+		t.Errorf("available = %d, want 4", got)
+	}
+	if _, err := r.Reserve(0, 2, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Same priority cannot preempt: only 2 left for priority 2 and 3.
+	if got := r.AvailableFor(0, 2); got != 2 {
+		t.Errorf("available = %d, want 2", got)
+	}
+	// Priority 1 sees the slots of priority 2 as obtainable.
+	if got := r.AvailableFor(0, 1); got != 4 {
+		t.Errorf("priority-1 available = %d, want 4", got)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReservePreemptsLowestFirst(t *testing.T) {
+	r := NewRegistry([]int{4})
+	if _, err := r.Reserve(0, 2, 3, 30); err != nil { // low priority
+		t.Fatal(err)
+	}
+	if _, err := r.Reserve(0, 2, 2, 20); err != nil { // medium
+		t.Fatal(err)
+	}
+	// Priority 1 wants 3 slots: must preempt the priority-3 holder
+	// first (freeing 2), then the priority-2 holder (freeing 2 more).
+	victims, err := r.Reserve(0, 3, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(victims) != 2 || victims[0] != 30 || victims[1] != 20 {
+		t.Errorf("victims = %v, want [30 20]", victims)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if r.HeldBy(10) != 3 {
+		t.Errorf("held = %d, want 3", r.HeldBy(10))
+	}
+}
+
+func TestReserveFailsWhenFirm(t *testing.T) {
+	r := NewRegistry([]int{2})
+	if _, err := r.Reserve(0, 2, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Another priority-1 session cannot preempt an equal priority.
+	if _, err := r.Reserve(0, 1, 1, 11); err == nil {
+		t.Error("equal-priority preemption should fail")
+	}
+	// Member priority (0) can.
+	victims, err := r.Reserve(0, 1, MemberPriority, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(victims) != 1 || victims[0] != 10 {
+		t.Errorf("victims = %v", victims)
+	}
+}
+
+func TestReserveErrors(t *testing.T) {
+	r := NewRegistry([]int{2})
+	if _, err := r.Reserve(0, 0, 1, 1); err == nil {
+		t.Error("zero slots should fail")
+	}
+	if _, err := r.Reserve(0, 3, 1, 1); err == nil {
+		t.Error("over-bound request should fail")
+	}
+}
+
+func TestReleaseAndMerge(t *testing.T) {
+	r := NewRegistry([]int{6, 6})
+	r.Reserve(0, 2, 1, 5)
+	r.Reserve(0, 1, 1, 5) // merges with existing allocation
+	r.Reserve(1, 3, 1, 5)
+	if got := r.HeldBy(5); got != 6 {
+		t.Errorf("held = %d, want 6", got)
+	}
+	if len(r.Table(0).Allocations()) != 1 {
+		t.Error("same-session same-priority allocations should merge")
+	}
+	r.Release(5)
+	if r.HeldBy(5) != 0 {
+		t.Error("release should drop everything")
+	}
+}
+
+// buildWorld creates the paper's experimental pool: transit-stub
+// network, paper degree distribution, and non-overlapping sessions of
+// the given size.
+func buildWorld(t *testing.T, hosts int, seed int64) (*topology.Network, []int) {
+	t.Helper()
+	cfg := topology.DefaultConfig()
+	cfg.Hosts = hosts
+	cfg.Seed = seed
+	net, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	return net, alm.PaperDegrees(hosts, r)
+}
+
+func makeSessions(n, size, hosts int, r *rand.Rand) []*Session {
+	perm := r.Perm(hosts)
+	out := make([]*Session, 0, n)
+	for i := 0; i < n; i++ {
+		nodes := perm[i*size : (i+1)*size]
+		out = append(out, &Session{
+			ID:       SessionID(i + 1),
+			Priority: 1 + r.Intn(3),
+			Root:     nodes[0],
+			Members:  append([]int(nil), nodes[1:]...),
+		})
+	}
+	return out
+}
+
+func TestSingleSessionScheduling(t *testing.T) {
+	net, degrees := buildWorld(t, 400, 1)
+	sc := NewScheduler(degrees, net.Latency, Config{})
+	r := rand.New(rand.NewSource(2))
+	s := makeSessions(1, 20, 400, r)[0]
+	if err := sc.AddSession(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Tree == nil {
+		t.Fatal("session not planned")
+	}
+	if err := s.Tree.Validate(func(v int) int { return degrees[v] }); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range s.Members {
+		if !s.Tree.Contains(m) {
+			t.Fatalf("member %d missing from plan", m)
+		}
+	}
+	if err := sc.Registry().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Reservations match the tree's degrees.
+	for _, v := range s.Tree.Nodes() {
+		if got := sc.Registry().HeldBy(s.ID); got == 0 {
+			t.Fatal("no reservations recorded")
+		}
+		_ = v
+	}
+}
+
+func TestAddSessionErrors(t *testing.T) {
+	sc := NewScheduler([]int{4, 4, 4}, func(a, b int) float64 { return 1 }, Config{})
+	s := &Session{ID: 1, Priority: 1, Root: 0, Members: []int{1}}
+	if err := sc.AddSession(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.AddSession(s); err == nil {
+		t.Error("duplicate session should fail")
+	}
+	if err := sc.AddSession(&Session{ID: 2, Priority: 0, Root: 0}); err == nil {
+		t.Error("priority 0 should be rejected")
+	}
+}
+
+func TestMultiSessionCompetition(t *testing.T) {
+	const hosts = 600
+	net, degrees := buildWorld(t, hosts, 3)
+	sc := NewScheduler(degrees, net.Latency, Config{})
+	r := rand.New(rand.NewSource(4))
+	sessions := makeSessions(20, 20, hosts, r)
+	for _, s := range sessions {
+		if err := sc.AddSession(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plans, err := sc.Stabilize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans < len(sessions) {
+		t.Errorf("plans = %d, want >= %d", plans, len(sessions))
+	}
+	if err := sc.Registry().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every session got a valid spanning plan despite competition.
+	for _, s := range sessions {
+		if s.Tree == nil {
+			t.Fatalf("session %d unplanned", s.ID)
+		}
+		for _, m := range s.Members {
+			if !s.Tree.Contains(m) {
+				t.Fatalf("session %d member %d missing", s.ID, m)
+			}
+		}
+		if !s.Tree.Contains(s.Root) {
+			t.Fatalf("session %d root missing", s.ID)
+		}
+	}
+	// No node is over-allocated across all trees: cross-check the
+	// registry against actual tree degrees.
+	usage := make([]int, hosts)
+	for _, s := range sessions {
+		for _, v := range s.Tree.Nodes() {
+			usage[v] += s.Tree.Degree(v)
+		}
+	}
+	for h := 0; h < hosts; h++ {
+		if usage[h] > degrees[h] {
+			t.Fatalf("host %d used %d slots, bound %d", h, usage[h], degrees[h])
+		}
+	}
+}
+
+func TestHigherPriorityGetsMoreHelpers(t *testing.T) {
+	// Under heavy competition, priority-1 sessions should retain at
+	// least as many helpers on average as priority-3 sessions — the
+	// headline of Figure 10(b).
+	const hosts = 1200
+	net, degrees := buildWorld(t, hosts, 5)
+	sc := NewScheduler(degrees, net.Latency, Config{})
+	r := rand.New(rand.NewSource(6))
+	sessions := makeSessions(50, 20, hosts, r)
+	for _, s := range sessions {
+		if err := sc.AddSession(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	helpers := map[int][]float64{}
+	for _, s := range sessions {
+		helpers[s.Priority] = append(helpers[s.Priority], float64(s.HelperCount()))
+	}
+	mean := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		t := 0.0
+		for _, x := range xs {
+			t += x
+		}
+		return t / float64(len(xs))
+	}
+	if len(helpers[1]) == 0 || len(helpers[3]) == 0 {
+		t.Skip("seed produced no sessions in a priority class")
+	}
+	if mean(helpers[1]) < mean(helpers[3])-0.5 {
+		t.Errorf("priority 1 avg helpers %.2f < priority 3 avg %.2f",
+			mean(helpers[1]), mean(helpers[3]))
+	}
+}
+
+func TestRemoveSessionFreesResources(t *testing.T) {
+	net, degrees := buildWorld(t, 400, 7)
+	sc := NewScheduler(degrees, net.Latency, Config{})
+	r := rand.New(rand.NewSource(8))
+	sessions := makeSessions(2, 20, 400, r)
+	for _, s := range sessions {
+		sc.AddSession(s)
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	id := sessions[0].ID
+	if sc.Registry().HeldBy(id) == 0 {
+		t.Fatal("expected reservations")
+	}
+	sc.RemoveSession(id)
+	if sc.Registry().HeldBy(id) != 0 {
+		t.Error("remove should free reservations")
+	}
+	if len(sc.Sessions()) != 1 {
+		t.Error("session list should shrink")
+	}
+	// Periodic reschedule lets the survivor claim freed resources.
+	sc.Reschedule()
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreemptionCascadeConverges(t *testing.T) {
+	// Many sessions on a small pool: preemption cascades must still
+	// reach a fixpoint within MaxRounds.
+	net, degrees := buildWorld(t, 300, 9)
+	sc := NewScheduler(degrees, net.Latency, Config{MaxRounds: 64})
+	r := rand.New(rand.NewSource(10))
+	sessions := makeSessions(15, 20, 300, r) // all 300 hosts are members
+	for _, s := range sessions {
+		if err := sc.AddSession(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Registry().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionHelperCount(t *testing.T) {
+	s := &Session{ID: 1, Priority: 1, Root: 0, Members: []int{1, 2}}
+	if s.HelperCount() != 0 {
+		t.Error("unplanned session should report 0 helpers")
+	}
+	tr := alm.NewTree(0)
+	tr.Attach(5, 0) // helper
+	tr.Attach(1, 5)
+	tr.Attach(2, 5)
+	s.Tree = tr
+	if s.HelperCount() != 1 {
+		t.Errorf("helpers = %d, want 1", s.HelperCount())
+	}
+}

@@ -1,0 +1,304 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"p2ppool/internal/alm"
+)
+
+// Session is one ALM task competing in the pool.
+type Session struct {
+	ID       SessionID
+	Priority int // market priority: 1 (highest) .. 3 (lowest)
+	Root     int
+	Members  []int // excluding Root
+
+	// Tree is the current plan (nil until scheduled).
+	Tree *alm.Tree
+	// Replans counts how many times this session had to reschedule.
+	Replans int
+}
+
+// memberSet returns the session's member set including the root.
+func (s *Session) memberSet() map[int]bool {
+	m := make(map[int]bool, len(s.Members)+1)
+	m[s.Root] = true
+	for _, v := range s.Members {
+		m[v] = true
+	}
+	return m
+}
+
+// HelperCount returns how many non-member nodes the current plan uses.
+func (s *Session) HelperCount() int {
+	if s.Tree == nil {
+		return 0
+	}
+	return s.Tree.Size() - len(s.Members) - 1
+}
+
+// effPriority is the session's priority at a given node: members serve
+// their own session above everything else.
+func (s *Session) effPriority(host int, members map[int]bool) int {
+	if members[host] {
+		return MemberPriority
+	}
+	return s.Priority
+}
+
+// Config tunes the scheduler.
+type Config struct {
+	// HelperRadius R for the critical-node heuristic.
+	HelperRadius float64
+	// HelperMinDegree is the minimum spare fan-out for a helper.
+	HelperMinDegree int
+	// MaxRounds bounds the preemption-replan cascade per Stabilize.
+	MaxRounds int
+	// ScoreLatency, when set, is the knowledge used for helper
+	// vicinity judgment (the paper's Leafset mode: coordinate
+	// estimates). Tree links themselves always use the scheduler's
+	// latency function — a session measures the nodes it contacts.
+	ScoreLatency alm.LatencyFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.HelperRadius <= 0 {
+		c.HelperRadius = 100
+	}
+	if c.HelperMinDegree <= 0 {
+		c.HelperMinDegree = alm.DefaultMinDegree
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 64
+	}
+	return c
+}
+
+// Scheduler coordinates sessions over a shared registry. It is "market
+// driven": there is no global optimization — each session greedily
+// plans for itself with whatever the degree tables say is obtainable at
+// its priority, and preempted sessions replan.
+type Scheduler struct {
+	cfg Config
+	reg *Registry
+
+	// lat is the measured latency used for tree links and adjustment;
+	// cfg.ScoreLatency (if set) supplies the estimate-based vicinity
+	// judgment for helper candidates.
+	lat    alm.LatencyFunc
+	bounds []int
+
+	sessions map[SessionID]*Session
+	dirty    map[SessionID]bool
+}
+
+// NewScheduler creates a scheduler over hosts with the given degree
+// bounds. lat is the measured latency (tree links and adjustment);
+// set cfg.ScoreLatency to a coordinate predictor for the paper's
+// practical Leafset configuration.
+func NewScheduler(bounds []int, lat alm.LatencyFunc, cfg Config) *Scheduler {
+	return &Scheduler{
+		cfg:      cfg.withDefaults(),
+		reg:      NewRegistry(bounds),
+		lat:      lat,
+		bounds:   bounds,
+		sessions: make(map[SessionID]*Session),
+		dirty:    make(map[SessionID]bool),
+	}
+}
+
+// Registry exposes the degree tables (tests and reporting).
+func (sc *Scheduler) Registry() *Registry { return sc.reg }
+
+// Sessions returns the active sessions sorted by ID.
+func (sc *Scheduler) Sessions() []*Session {
+	out := make([]*Session, 0, len(sc.sessions))
+	for _, s := range sc.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AddSession admits a session (it will be planned on the next
+// Stabilize).
+func (sc *Scheduler) AddSession(s *Session) error {
+	if _, ok := sc.sessions[s.ID]; ok {
+		return fmt.Errorf("sched: duplicate session %d", s.ID)
+	}
+	if s.Priority < 1 {
+		return fmt.Errorf("sched: session %d priority %d < 1", s.ID, s.Priority)
+	}
+	sc.sessions[s.ID] = s
+	sc.dirty[s.ID] = true
+	return nil
+}
+
+// RemoveSession ends a session, freeing its reservations. Freed
+// resources do not forcibly dirty others; sessions pick them up at
+// their periodic reschedule (Reschedule / Stabilize).
+func (sc *Scheduler) RemoveSession(id SessionID) {
+	if _, ok := sc.sessions[id]; !ok {
+		return
+	}
+	sc.reg.Release(id)
+	delete(sc.sessions, id)
+	delete(sc.dirty, id)
+}
+
+// Reschedule marks every session dirty — the paper's periodic re-run
+// "to examine if a better plan, using recently freed resources, is
+// better than the current one".
+func (sc *Scheduler) Reschedule() {
+	for id := range sc.sessions {
+		sc.dirty[id] = true
+	}
+}
+
+// AddMember grows a session's member set (the dynamic-membership
+// extension the paper sketches in Section 5): the session replans on
+// the next Stabilize with the new participant holding member priority.
+func (sc *Scheduler) AddMember(id SessionID, host int) error {
+	s, ok := sc.sessions[id]
+	if !ok {
+		return fmt.Errorf("sched: unknown session %d", id)
+	}
+	if host == s.Root {
+		return fmt.Errorf("sched: host %d is already the root of session %d", host, id)
+	}
+	for _, m := range s.Members {
+		if m == host {
+			return fmt.Errorf("sched: host %d already in session %d", host, id)
+		}
+	}
+	s.Members = append(s.Members, host)
+	sc.dirty[id] = true
+	return nil
+}
+
+// RemoveMember shrinks a session's member set; the session replans on
+// the next Stabilize. Removing the root is not allowed (end the
+// session instead).
+func (sc *Scheduler) RemoveMember(id SessionID, host int) error {
+	s, ok := sc.sessions[id]
+	if !ok {
+		return fmt.Errorf("sched: unknown session %d", id)
+	}
+	if host == s.Root {
+		return fmt.Errorf("sched: cannot remove the root of session %d", id)
+	}
+	for i, m := range s.Members {
+		if m == host {
+			s.Members = append(s.Members[:i], s.Members[i+1:]...)
+			sc.dirty[id] = true
+			return nil
+		}
+	}
+	return fmt.Errorf("sched: host %d not in session %d", host, id)
+}
+
+// Stabilize processes dirty sessions (highest priority first, then by
+// ID) until no session is dirty or MaxRounds waves have run. It
+// returns the number of individual plans executed.
+func (sc *Scheduler) Stabilize() (plans int, err error) {
+	for round := 0; round < sc.cfg.MaxRounds; round++ {
+		if len(sc.dirty) == 0 {
+			return plans, nil
+		}
+		batch := make([]*Session, 0, len(sc.dirty))
+		for id := range sc.dirty {
+			if s, ok := sc.sessions[id]; ok {
+				batch = append(batch, s)
+			}
+		}
+		sc.dirty = make(map[SessionID]bool)
+		sort.Slice(batch, func(i, j int) bool {
+			if batch[i].Priority != batch[j].Priority {
+				return batch[i].Priority < batch[j].Priority
+			}
+			return batch[i].ID < batch[j].ID
+		})
+		for _, s := range batch {
+			if err := sc.planOne(s); err != nil {
+				return plans, fmt.Errorf("session %d: %w", s.ID, err)
+			}
+			plans++
+		}
+	}
+	if len(sc.dirty) > 0 {
+		return plans, fmt.Errorf("sched: did not stabilize within %d rounds (%d dirty)", sc.cfg.MaxRounds, len(sc.dirty))
+	}
+	return plans, nil
+}
+
+// planOne runs one session's task manager: release current holdings,
+// read availability from the degree tables, plan Leafset+adjust with
+// helpers, and reserve the new plan (preempting lower priority).
+func (sc *Scheduler) planOne(s *Session) error {
+	sc.reg.Release(s.ID)
+	members := s.memberSet()
+
+	// Effective degree bound for this session at each host: what the
+	// market says it can obtain.
+	avail := func(v int) int {
+		p := s.effPriority(v, members)
+		a := sc.reg.AvailableFor(v, p)
+		if a > sc.bounds[v] {
+			a = sc.bounds[v]
+		}
+		return a
+	}
+
+	// Candidate helpers: everyone outside the session with enough
+	// obtainable fan-out.
+	candidates := make([]int, 0, sc.reg.NumHosts())
+	for h := 0; h < sc.reg.NumHosts(); h++ {
+		if members[h] {
+			continue
+		}
+		if avail(h) >= sc.cfg.HelperMinDegree {
+			candidates = append(candidates, h)
+		}
+	}
+
+	p := alm.Problem{
+		Root:    s.Root,
+		Members: append([]int(nil), s.Members...),
+		Latency: sc.lat,
+		Degree:  avail,
+	}
+	tree, err := alm.PlanWithHelpers(p, alm.HelperSet{
+		Candidates:   candidates,
+		Radius:       sc.cfg.HelperRadius,
+		MinDegree:    sc.cfg.HelperMinDegree,
+		ScoreLatency: sc.cfg.ScoreLatency,
+	})
+	if err != nil {
+		return err
+	}
+	alm.Adjust(tree, sc.lat, avail)
+
+	// Reserve the plan's slots; preempted sessions must replan.
+	for _, v := range tree.Nodes() {
+		slots := tree.Degree(v)
+		if slots == 0 {
+			continue
+		}
+		victims, err := sc.reg.Reserve(v, slots, s.effPriority(v, members), s.ID)
+		if err != nil {
+			return err
+		}
+		for _, vic := range victims {
+			if vic == s.ID {
+				continue
+			}
+			if victim, ok := sc.sessions[vic]; ok {
+				victim.Replans++
+				sc.dirty[vic] = true
+			}
+		}
+	}
+	s.Tree = tree
+	return nil
+}

@@ -1,0 +1,383 @@
+package somo
+
+import (
+	"sort"
+
+	"p2ppool/internal/dht"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/ids"
+)
+
+// Record is one member's metadata report as it travels up the tree.
+type Record struct {
+	// Source is the member the record describes.
+	Source dht.Entry
+	// Time is when the source generated the record (virtual ms); the
+	// root snapshot's staleness is measured from these.
+	Time eventsim.Time
+	// Data is the application payload (the resource pool publishes
+	// pool.Status values; SOMO itself treats it as opaque).
+	Data interface{}
+}
+
+// Snapshot is the aggregated system view available at the SOMO root.
+type Snapshot struct {
+	Records []Record
+	Version uint64
+	// Time is when the root assembled this snapshot.
+	Time eventsim.Time
+}
+
+// Digest is the compact root summary disseminated back down the tree
+// in report acknowledgements.
+type Digest struct {
+	Version   uint64
+	NodeCount int
+	Time      eventsim.Time
+}
+
+// Config tunes a SOMO agent.
+type Config struct {
+	// Fanout k of the logical tree (paper default: 8).
+	Fanout int
+	// ReportInterval T between report flows (LiquidEye uses 5 s).
+	ReportInterval eventsim.Time
+	// RecordTTL expires stale child records; it must comfortably exceed
+	// depth * ReportInterval for the unsynchronized flow. 0 means
+	// 20 * ReportInterval.
+	RecordTTL eventsim.Time
+	// Synchronized switches to the pull-driven flow: a parent's call
+	// for reports immediately triggers its children's reports, cutting
+	// gather latency from log_k(N)*T to T + t_hop*log_k(N). The pull
+	// cascades: a pulled node first pulls its own children and waits up
+	// to GatherWindow for their fresh reports before reporting up, so
+	// the root's view is at most one wave round-trip old.
+	Synchronized bool
+	// GatherWindow is how long a pulled node waits for its children's
+	// fresh reports before reporting up (synchronized flow only).
+	// Default: 4 * the typical one-way hop, 400 ms.
+	GatherWindow eventsim.Time
+	// ReportBytesPerRecord models the wire size of one record (the
+	// paper's leaf report is 40 bytes).
+	ReportBytesPerRecord int
+}
+
+// DefaultConfig returns the paper's SOMO parameters.
+func DefaultConfig() Config {
+	return Config{
+		Fanout:               8,
+		ReportInterval:       5 * eventsim.Second,
+		ReportBytesPerRecord: 40,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Fanout < 2 {
+		c.Fanout = d.Fanout
+	}
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = d.ReportInterval
+	}
+	if c.RecordTTL <= 0 {
+		c.RecordTTL = 20 * c.ReportInterval
+	}
+	if c.ReportBytesPerRecord <= 0 {
+		c.ReportBytesPerRecord = d.ReportBytesPerRecord
+	}
+	if c.GatherWindow <= 0 {
+		c.GatherWindow = 400 * eventsim.Millisecond
+	}
+	return c
+}
+
+// reportMsg carries records up one level; routed to the parent position.
+type reportMsg struct {
+	Reporter dht.Entry
+	Records  []Record
+}
+
+// reportAck flows the latest root digest back down to the reporter.
+type reportAck struct {
+	Digest Digest
+}
+
+// pullMsg (synchronized mode) asks a child to report immediately.
+type pullMsg struct{}
+
+// queryMsg asks the root owner for the full snapshot.
+type queryMsg struct {
+	ReplyTo dht.Entry
+	Token   uint64
+}
+
+// snapshotMsg answers a queryMsg.
+type snapshotMsg struct {
+	Token    uint64
+	Snapshot Snapshot
+}
+
+// LocalFunc produces this member's current metadata payload.
+type LocalFunc func() interface{}
+
+// Agent runs the SOMO protocol on one DHT node. Create with NewAgent
+// after the node exists; the agent registers its own handlers.
+type Agent struct {
+	node *dht.Node
+	cfg  Config
+
+	local LocalFunc
+
+	// children holds the freshest record per source that has been
+	// reported to a logical node this agent hosts.
+	children map[ids.ID]Record
+
+	// knownChildren remembers reporter entries for synchronized pulls.
+	knownChildren map[ids.ID]dht.Entry
+
+	snapshot Snapshot // root only: latest assembled global view
+	digest   Digest   // latest digest seen (root: own; others: from acks)
+
+	queryToken uint64
+	queries    map[uint64]func(Snapshot)
+
+	// Synchronized-flow wave state: while a wave is pending this agent
+	// has pulled its children and is waiting for their fresh reports.
+	wavePending  bool
+	waveReported map[ids.ID]bool
+	waveCancel   func() bool
+
+	cancelTick func() bool
+	stopped    bool
+
+	// Metrics.
+	reportsSent     uint64
+	reportsReceived uint64
+}
+
+// NewAgent attaches a SOMO agent to a node. local provides the member's
+// own metadata payload; it may be nil (the member contributes only its
+// presence).
+func NewAgent(node *dht.Node, cfg Config, local LocalFunc) *Agent {
+	a := &Agent{
+		node:          node,
+		cfg:           cfg.withDefaults(),
+		local:         local,
+		children:      make(map[ids.ID]Record),
+		knownChildren: make(map[ids.ID]dht.Entry),
+		queries:       make(map[uint64]func(Snapshot)),
+	}
+	node.OnRouted(a.onRouted)
+	node.OnApp(a.onApp)
+	a.scheduleTick(a.jitteredInterval())
+	return a
+}
+
+// Stop halts the agent's periodic reporting.
+func (a *Agent) Stop() {
+	a.stopped = true
+	if a.cancelTick != nil {
+		a.cancelTick()
+		a.cancelTick = nil
+	}
+}
+
+// Node returns the DHT node this agent runs on.
+func (a *Agent) Node() *dht.Node { return a.node }
+
+// Representative returns the logical tree node this member currently
+// represents (recomputed from the live zone, so churn is reflected
+// immediately).
+func (a *Agent) Representative() LogicalNode {
+	return Representative(a.node.Zone(), a.cfg.Fanout)
+}
+
+// IsRoot reports whether this member currently hosts the logical root.
+func (a *Agent) IsRoot() bool { return a.Representative().IsRoot() }
+
+// RootSnapshot returns the latest assembled snapshot. Only meaningful
+// on the root member; others see a zero snapshot and should use Query.
+func (a *Agent) RootSnapshot() Snapshot { return a.snapshot }
+
+// LatestDigest returns the newest root digest this member has seen via
+// downward dissemination.
+func (a *Agent) LatestDigest() Digest { return a.digest }
+
+// ReportsSent returns how many upward reports this agent has sent.
+func (a *Agent) ReportsSent() uint64 { return a.reportsSent }
+
+// ReportsReceived returns how many child reports this agent has taken.
+func (a *Agent) ReportsReceived() uint64 { return a.reportsReceived }
+
+// Query requests the current global snapshot from the root; cb runs
+// when the reply arrives. A member that is itself the root answers
+// synchronously.
+func (a *Agent) Query(cb func(Snapshot)) {
+	if a.IsRoot() {
+		a.refreshRoot()
+		cb(a.snapshot)
+		return
+	}
+	a.queryToken++
+	tok := a.queryToken
+	a.queries[tok] = cb
+	a.node.Route(Root.Position(a.cfg.Fanout), 64, queryMsg{ReplyTo: a.node.Self(), Token: tok})
+}
+
+// --- periodic flow ---
+
+func (a *Agent) jitteredInterval() eventsim.Time {
+	// +/-10% jitter decorrelates report waves between members.
+	j := 0.9 + 0.2*a.node.Network().Rand().Float64()
+	return eventsim.Time(float64(a.cfg.ReportInterval) * j)
+}
+
+func (a *Agent) scheduleTick(d eventsim.Time) {
+	a.cancelTick = a.node.Network().After(d, a.tick)
+}
+
+func (a *Agent) tick() {
+	if a.stopped || !a.node.Active() {
+		return
+	}
+	a.flow()
+	a.scheduleTick(a.jitteredInterval())
+}
+
+// flow performs one gather step. Unsynchronized: merge local + child
+// records and push them one level up (or refresh the root snapshot).
+// Synchronized: start a cascading wave — pull children, wait up to
+// GatherWindow for their fresh reports, then push up.
+func (a *Agent) flow() {
+	if a.cfg.Synchronized && len(a.knownChildren) > 0 && !a.wavePending {
+		a.wavePending = true
+		a.waveReported = make(map[ids.ID]bool, len(a.knownChildren))
+		a.pullChildren()
+		a.waveCancel = a.node.Network().After(a.cfg.GatherWindow, a.finishWave)
+		return
+	}
+	if !a.cfg.Synchronized || !a.wavePending {
+		a.pushUp()
+	}
+}
+
+// finishWave ends a synchronized gather wave and pushes the (now
+// refreshed) records up.
+func (a *Agent) finishWave() {
+	if !a.wavePending {
+		return
+	}
+	a.wavePending = false
+	if a.waveCancel != nil {
+		a.waveCancel()
+		a.waveCancel = nil
+	}
+	a.pushUp()
+}
+
+// pushUp merges local + child records and sends them one level up, or
+// refreshes the snapshot when this member hosts the root.
+func (a *Agent) pushUp() {
+	if a.stopped || !a.node.Active() {
+		return
+	}
+	rep := a.Representative()
+	if rep.IsRoot() {
+		a.refreshRoot()
+		return
+	}
+	records := a.assemble()
+	parentPos := rep.Parent(a.cfg.Fanout).Position(a.cfg.Fanout)
+	size := 64 + a.cfg.ReportBytesPerRecord*len(records)
+	a.node.Route(parentPos, size, reportMsg{Reporter: a.node.Self(), Records: records})
+	a.reportsSent++
+}
+
+// assemble merges the member's own record with unexpired child records.
+func (a *Agent) assemble() []Record {
+	now := a.node.Network().Now()
+	var data interface{}
+	if a.local != nil {
+		data = a.local()
+	}
+	records := []Record{{Source: a.node.Self(), Time: now, Data: data}}
+	for id, rec := range a.children {
+		if now-rec.Time > a.cfg.RecordTTL {
+			delete(a.children, id)
+			delete(a.knownChildren, id)
+			continue
+		}
+		records = append(records, rec)
+	}
+	// Deterministic order keeps simulation runs reproducible.
+	sort.Slice(records, func(i, j int) bool { return records[i].Source.ID < records[j].Source.ID })
+	return records
+}
+
+func (a *Agent) refreshRoot() {
+	records := a.assemble()
+	a.snapshot = Snapshot{
+		Records: records,
+		Version: a.snapshot.Version + 1,
+		Time:    a.node.Network().Now(),
+	}
+	a.digest = Digest{
+		Version:   a.snapshot.Version,
+		NodeCount: len(records),
+		Time:      a.snapshot.Time,
+	}
+}
+
+// pullChildren (synchronized mode) nudges known children to report now.
+func (a *Agent) pullChildren() {
+	for _, e := range a.knownChildren {
+		a.node.SendApp(e, 32, pullMsg{})
+	}
+}
+
+// --- message handling ---
+
+func (a *Agent) onRouted(key ids.ID, from dht.Entry, hops int, payload interface{}) {
+	switch m := payload.(type) {
+	case reportMsg:
+		a.reportsReceived++
+		for _, rec := range m.Records {
+			if old, ok := a.children[rec.Source.ID]; !ok || rec.Time > old.Time {
+				a.children[rec.Source.ID] = rec
+			}
+		}
+		a.knownChildren[m.Reporter.ID] = m.Reporter
+		// Disseminate the freshest root digest back down.
+		a.node.SendApp(m.Reporter, 48, reportAck{Digest: a.digest})
+		// Synchronized wave bookkeeping: once every known child has
+		// answered this wave, report up without waiting out the window.
+		if a.wavePending {
+			a.waveReported[m.Reporter.ID] = true
+			if len(a.waveReported) >= len(a.knownChildren) {
+				a.finishWave()
+			}
+		}
+	case queryMsg:
+		a.refreshRoot()
+		size := 64 + a.cfg.ReportBytesPerRecord*len(a.snapshot.Records)
+		a.node.SendApp(m.ReplyTo, size, snapshotMsg{Token: m.Token, Snapshot: a.snapshot})
+	}
+}
+
+func (a *Agent) onApp(from dht.Entry, payload interface{}) {
+	switch m := payload.(type) {
+	case reportAck:
+		if m.Digest.Version > a.digest.Version {
+			a.digest = m.Digest
+		}
+	case pullMsg:
+		if !a.stopped && a.node.Active() {
+			a.flow()
+		}
+	case snapshotMsg:
+		if cb, ok := a.queries[m.Token]; ok {
+			delete(a.queries, m.Token)
+			cb(m.Snapshot)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package somo
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"p2ppool/internal/dht"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/transport"
+)
+
+// TestLiveTransportIntegration runs the identical DHT + SOMO protocol
+// stack on the wall-clock transport (goroutines and real timers) that
+// the simulator runs in virtual time — the property that makes the
+// LiquidEye-style monitor (cmd/poolmon) the same code as the
+// experiments.
+func TestLiveTransportIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	const n = 8
+	live := transport.NewLive(nil, 1)
+	defer live.Close()
+
+	r := rand.New(rand.NewSource(2))
+	idList := dht.RandomIDs(n, r)
+	addrs := make([]transport.Addr, n)
+	for i := range addrs {
+		addrs[i] = transport.Addr(i)
+	}
+	var nodes []*dht.Node
+	var agents []*Agent
+	live.Run(func() {
+		var err error
+		nodes, err = dht.BuildRing(live, idList, addrs, dht.Config{
+			LeafsetRadius:     4,
+			HeartbeatInterval: 50 * eventsim.Millisecond,
+			FailureTimeout:    300 * eventsim.Millisecond,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i, nd := range nodes {
+			i := i
+			agents = append(agents, NewAgent(nd, Config{
+				Fanout:         8,
+				ReportInterval: 100 * eventsim.Millisecond,
+			}, func() interface{} { return i }))
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Let the live protocols run for up to 5 wall seconds, polling for
+	// a complete root snapshot.
+	deadline := time.Now().Add(5 * time.Second)
+	var got int
+	for time.Now().Before(deadline) {
+		live.Run(func() {
+			for _, a := range agents {
+				if a.IsRoot() {
+					a.refreshRoot()
+					got = len(a.RootSnapshot().Records)
+				}
+			}
+		})
+		if got == n {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if got != n {
+		t.Fatalf("live root snapshot has %d/%d records", got, n)
+	}
+	live.Run(func() {
+		for _, a := range agents {
+			a.Stop()
+		}
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package somo implements the Self-Organized Metadata Overlay
+// (Section 3.2 of the paper): a logical k-ary tree drawn over the DHT's
+// identifier space whose nodes are hosted by whichever DHT member owns
+// their position. Each member independently computes the highest
+// logical tree node inside its zone as its representative, routes its
+// reports to the parent's position, and the hierarchy gathers a global
+// system snapshot at the root in O(log_k N) time — the dynamic
+// database that turns a DHT into a resource pool.
+package somo
+
+import (
+	"fmt"
+
+	"p2ppool/internal/ids"
+)
+
+// LogicalNode identifies one node of the k-ary logical tree: tree level
+// (0 = root) and index within the level (0 <= Index < k^Level).
+type LogicalNode struct {
+	Level int
+	Index uint64
+}
+
+// Root is the logical root, positioned at the midpoint of the space.
+var Root = LogicalNode{Level: 0, Index: 0}
+
+// String renders the logical node as level:index.
+func (l LogicalNode) String() string { return fmt.Sprintf("L%d:%d", l.Level, l.Index) }
+
+// IsRoot reports whether this is the logical root.
+func (l LogicalNode) IsRoot() bool { return l.Level == 0 }
+
+// maxLevel bounds the tree depth; with fanout >= 2 the positions at
+// level 63 are denser than any realistic zone.
+const maxLevel = 63
+
+// step returns the spacing of level-l positions in the ID space:
+// 2^64 / k^l, or 0 if k^l overflows or exceeds the space (the level is
+// too deep to represent).
+func step(fanout, level int) uint64 {
+	if level == 0 {
+		return 0 // sentinel: the "spacing" of the single root is the whole space
+	}
+	kl := uint64(1)
+	for i := 0; i < level; i++ {
+		prev := kl
+		kl *= uint64(fanout)
+		if kl/uint64(fanout) != prev { // overflow
+			return 0
+		}
+	}
+	// 2^64 / kl without a 128-bit type: (2^64-1)/kl is off by at most 1
+	// for non-power-of-two fanouts, and exact when kl divides 2^64.
+	s := ^uint64(0)/kl + 1
+	return s
+}
+
+// Position returns the ring position of the logical node for the given
+// fanout: the center of its region, index*step + step/2. The root sits
+// at the midpoint of the whole space.
+func (l LogicalNode) Position(fanout int) ids.ID {
+	if l.Level == 0 {
+		return ids.ID(1 << 63)
+	}
+	s := step(fanout, l.Level)
+	if s == 0 {
+		// Too deep to represent distinctly; collapse onto fine-grained
+		// absolute position, best effort.
+		return ids.ID(l.Index)
+	}
+	return ids.ID(l.Index*s + s/2)
+}
+
+// Parent returns the logical parent. Calling Parent on the root panics:
+// the caller must check IsRoot first (the root has no parent by
+// definition, and silently returning the root itself would create
+// routing cycles).
+func (l LogicalNode) Parent(fanout int) LogicalNode {
+	if l.IsRoot() {
+		panic("somo: root has no parent")
+	}
+	return LogicalNode{Level: l.Level - 1, Index: l.Index / uint64(fanout)}
+}
+
+// Child returns the j-th child (0 <= j < fanout).
+func (l LogicalNode) Child(fanout, j int) LogicalNode {
+	return LogicalNode{Level: l.Level + 1, Index: l.Index*uint64(fanout) + uint64(j)}
+}
+
+// Representative returns the highest logical tree node whose position
+// lies inside zone — the logical node the zone's owner represents in
+// the SOMO hierarchy. Every zone has a representative: positions get
+// arbitrarily dense with depth, and at the deepest representable level
+// every single ID is a position.
+func Representative(zone ids.Zone, fanout int) LogicalNode {
+	if fanout < 2 {
+		panic(fmt.Sprintf("somo: fanout must be >= 2, got %d", fanout))
+	}
+	// Root first: one lucky zone owns the midpoint of the space.
+	if zone.Contains(Root.Position(fanout)) {
+		return Root
+	}
+	for level := 1; level <= maxLevel; level++ {
+		s := step(fanout, level)
+		if s == 0 {
+			break
+		}
+		if ln, ok := levelHit(zone, level, s); ok {
+			return ln
+		}
+	}
+	// Deeper than representable spacing: every ID is effectively a
+	// position; use the zone end itself at the deepest level.
+	return LogicalNode{Level: maxLevel, Index: uint64(zone.End)}
+}
+
+// levelHit finds the first level-`level` position inside the zone, if
+// any. Positions are i*s + s/2 for i = 0..k^level-1.
+func levelHit(zone ids.Zone, level int, s uint64) (LogicalNode, bool) {
+	half := s / 2
+	start := uint64(zone.Start)
+	var i uint64
+	if start < half {
+		i = 0
+	} else {
+		i = (start-half)/s + 1
+	}
+	pos := ids.ID(i*s + half) // wraps naturally if i*s overflows
+	if zone.Contains(pos) {
+		return LogicalNode{Level: level, Index: i}, true
+	}
+	return LogicalNode{}, false
+}

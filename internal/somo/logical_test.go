@@ -1,0 +1,221 @@
+package somo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p2ppool/internal/ids"
+)
+
+func TestRootPosition(t *testing.T) {
+	if Root.Position(8) != ids.ID(1<<63) {
+		t.Errorf("root position = %v, want midpoint", Root.Position(8))
+	}
+	if !Root.IsRoot() {
+		t.Error("Root.IsRoot")
+	}
+	if Root.String() != "L0:0" {
+		t.Errorf("Root string = %q", Root.String())
+	}
+}
+
+func TestParentPanicsOnRoot(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Parent of root should panic")
+		}
+	}()
+	Root.Parent(8)
+}
+
+func TestParentChildRoundTrip(t *testing.T) {
+	for _, fanout := range []int{2, 4, 8, 16} {
+		n := LogicalNode{Level: 3, Index: 5}
+		for j := 0; j < fanout; j++ {
+			c := n.Child(fanout, j)
+			if c.Level != 4 {
+				t.Fatalf("child level = %d", c.Level)
+			}
+			if p := c.Parent(fanout); p != n {
+				t.Fatalf("fanout %d: parent(child(%v,%d)) = %v", fanout, n, j, p)
+			}
+		}
+	}
+}
+
+func TestPositionsNested(t *testing.T) {
+	// A child's position must fall inside its parent's region:
+	// [i*step, (i+1)*step) at the parent's level.
+	for _, fanout := range []int{2, 8} {
+		for level := 1; level < 10; level++ {
+			s := step(fanout, level)
+			if s == 0 {
+				break
+			}
+			r := rand.New(rand.NewSource(int64(level)))
+			kl := uint64(1)
+			for i := 0; i < level; i++ {
+				kl *= uint64(fanout)
+			}
+			for trial := 0; trial < 20; trial++ {
+				idx := r.Uint64() % kl
+				n := LogicalNode{Level: level, Index: idx}
+				lo := ids.ID(idx * s)
+				hi := ids.ID((idx + 1) * s)
+				pos := n.Position(fanout)
+				if !ids.Between(lo-1, hi-1, pos) {
+					t.Fatalf("fanout %d: position of %v (%v) outside region [%v,%v)", fanout, n, pos, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestRepresentativeInZone(t *testing.T) {
+	f := func(start, end uint64) bool {
+		z := ids.Zone{Start: ids.ID(start), End: ids.ID(end)}
+		if start == end {
+			return true // whole-ring zone: rep is root, checked below
+		}
+		for _, fanout := range []int{2, 8} {
+			rep := Representative(z, fanout)
+			if !z.Contains(rep.Position(fanout)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// Whole-ring zone owns the root.
+	z := ids.Zone{Start: 7, End: 7}
+	if rep := Representative(z, 8); !rep.IsRoot() {
+		t.Errorf("whole-ring zone rep = %v, want root", rep)
+	}
+}
+
+// The representative is the HIGHEST logical node in the zone: no
+// strictly higher level may have a position inside the zone.
+func TestRepresentativeIsHighest(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		a, b := ids.Random(r), ids.Random(r)
+		if a == b {
+			continue
+		}
+		z := ids.Zone{Start: a, End: b}
+		rep := Representative(z, 8)
+		// Check a sample of positions at higher levels.
+		for level := 0; level < rep.Level; level++ {
+			s := step(8, level)
+			if level == 0 {
+				if z.Contains(Root.Position(8)) {
+					t.Fatalf("zone %v contains root but rep = %v", z, rep)
+				}
+				continue
+			}
+			if s == 0 {
+				continue
+			}
+			if _, ok := levelHit(z, level, s); ok {
+				t.Fatalf("zone %v has a level-%d position but rep = %v", z, level, rep)
+			}
+		}
+	}
+}
+
+// Parent position of a zone's representative is never inside the zone
+// (otherwise SOMO report routing would cycle onto the same member).
+func TestParentOutsideZone(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		a, b := ids.Random(r), ids.Random(r)
+		if a == b {
+			continue
+		}
+		z := ids.Zone{Start: a, End: b}
+		rep := Representative(z, 8)
+		if rep.IsRoot() {
+			continue
+		}
+		pp := rep.Parent(8).Position(8)
+		if z.Contains(pp) {
+			t.Fatalf("zone %v: parent position %v of rep %v inside zone", z, pp, rep)
+		}
+	}
+}
+
+// Exactly one zone of a partition owns the root, and all reps chain to
+// it within ~log_k(N) levels.
+func TestTreeDepthLogarithmic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{16, 128, 1024} {
+		idsList := make([]ids.ID, 0, n)
+		seen := map[ids.ID]bool{}
+		for len(idsList) < n {
+			id := ids.Random(r)
+			if !seen[id] {
+				seen[id] = true
+				idsList = append(idsList, id)
+			}
+		}
+		// sort
+		for i := range idsList {
+			for j := i + 1; j < len(idsList); j++ {
+				if idsList[j] < idsList[i] {
+					idsList[i], idsList[j] = idsList[j], idsList[i]
+				}
+			}
+		}
+		roots := 0
+		maxLevelSeen := 0
+		for i := range idsList {
+			z := ids.Zone{Start: idsList[(i+n-1)%n], End: idsList[i]}
+			rep := Representative(z, 8)
+			if rep.IsRoot() {
+				roots++
+			}
+			if rep.Level > maxLevelSeen {
+				maxLevelSeen = rep.Level
+			}
+		}
+		if roots != 1 {
+			t.Errorf("n=%d: %d zones own the root, want 1", n, roots)
+		}
+		// Expected depth ~ log_8(n) + slack for uneven zones.
+		limit := 1
+		for kl := 1; kl < n; kl *= 8 {
+			limit++
+		}
+		if maxLevelSeen > limit+3 {
+			t.Errorf("n=%d: max rep level %d exceeds log bound %d+3", n, maxLevelSeen, limit)
+		}
+	}
+}
+
+func TestRepresentativeBadFanout(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("fanout < 2 should panic")
+		}
+	}()
+	Representative(ids.Zone{Start: 1, End: 2}, 1)
+}
+
+func TestStepExactForPowerOfTwo(t *testing.T) {
+	if s := step(2, 1); s != 1<<63 {
+		t.Errorf("step(2,1) = %d", s)
+	}
+	if s := step(8, 1); s != 1<<61 {
+		t.Errorf("step(8,1) = %d", s)
+	}
+	if s := step(8, 2); s != 1<<58 {
+		t.Errorf("step(8,2) = %d", s)
+	}
+	// Overflow: 8^22 > 2^64.
+	if s := step(8, 22); s != 0 {
+		t.Errorf("step(8,22) = %d, want 0 (overflow)", s)
+	}
+}

@@ -1,0 +1,67 @@
+package somo
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2ppool/internal/dht"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/transport"
+)
+
+// TestGatherUnderMessageLoss: with 10% independent message loss the
+// hierarchy must still assemble a complete (or near-complete) view —
+// periodic re-reporting makes every record eventually reach the root.
+func TestGatherUnderMessageLoss(t *testing.T) {
+	const n = 48
+	e := eventsim.New(51)
+	net := transport.NewSim(e, transport.SimOptions{
+		Latency: func(a, b int) float64 {
+			if a == b {
+				return 0
+			}
+			return 20
+		},
+		LossProb: 0.10,
+	})
+	r := rand.New(rand.NewSource(52))
+	idList := dht.RandomIDs(n, r)
+	addrs := make([]transport.Addr, n)
+	for i := range addrs {
+		addrs[i] = transport.Addr(i)
+	}
+	nodes, err := dht.BuildRing(net, idList, addrs, dht.Config{
+		LeafsetRadius:     8,
+		HeartbeatInterval: eventsim.Second,
+		FailureTimeout:    6 * eventsim.Second, // loss-tolerant timeout
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := make([]*Agent, n)
+	for i, nd := range nodes {
+		i := i
+		agents[i] = NewAgent(nd, Config{ReportInterval: eventsim.Second}, func() interface{} { return i })
+	}
+	e.RunUntil(2 * eventsim.Minute)
+
+	var root *Agent
+	for _, a := range agents {
+		if a.IsRoot() {
+			root = a
+		}
+	}
+	if root == nil {
+		t.Fatal("no root under loss")
+	}
+	root.refreshRoot()
+	got := len(root.RootSnapshot().Records)
+	if got < n-2 {
+		t.Fatalf("snapshot has %d/%d records under 10%% loss", got, n)
+	}
+	// The DHT itself must not have falsely declared live members dead
+	// en masse: ring still consistent.
+	if err := dht.CheckRing(dht.SortByID(nodes)); err != nil {
+		t.Fatalf("ring inconsistent under loss: %v", err)
+	}
+}

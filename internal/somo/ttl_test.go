@@ -1,0 +1,90 @@
+package somo
+
+import (
+	"testing"
+
+	"p2ppool/internal/eventsim"
+)
+
+// TestRecordTTLExpiry: a member that stops reporting must age out of
+// the root snapshot after RecordTTL.
+func TestRecordTTLExpiry(t *testing.T) {
+	c := newCluster(t, 16, Config{
+		ReportInterval: eventsim.Second,
+		RecordTTL:      5 * eventsim.Second,
+	}, 21)
+	c.engine.RunUntil(20 * eventsim.Second)
+	root := c.root(t)
+	root.refreshRoot()
+	if got := len(root.RootSnapshot().Records); got != 16 {
+		t.Fatalf("initial snapshot has %d records", got)
+	}
+
+	// Silence one non-root agent (its DHT node keeps heartbeating, so
+	// the ring stays intact; only its SOMO reports stop).
+	var silenced *Agent
+	for _, a := range c.agents {
+		if !a.IsRoot() {
+			silenced = a
+			break
+		}
+	}
+	silenced.Stop()
+	c.engine.RunUntil(60 * eventsim.Second)
+
+	root.refreshRoot()
+	for _, rec := range root.RootSnapshot().Records {
+		if rec.Source.ID == silenced.Node().Self().ID {
+			t.Fatal("silenced member still in snapshot after TTL")
+		}
+	}
+	if got := len(root.RootSnapshot().Records); got != 15 {
+		t.Fatalf("snapshot has %d records, want 15", got)
+	}
+}
+
+// TestQuerySurvivesRootMigration: a query issued right after the root
+// host changes still gets answered by whoever owns the root position.
+func TestQuerySurvivesRootMigration(t *testing.T) {
+	c := newCluster(t, 24, Config{ReportInterval: eventsim.Second}, 22)
+	c.engine.RunUntil(15 * eventsim.Second)
+	oldRoot := c.root(t)
+
+	// Crash the root, let the ring repair.
+	oldRoot.Stop()
+	oldRoot.Node().Stop()
+	c.net.SetDown(oldRoot.Node().Self().Addr, true)
+	c.engine.RunUntil(c.engine.Now() + 30*eventsim.Second)
+
+	// Query from a survivor: the message routes to whoever now owns
+	// the root position.
+	var leaf *Agent
+	for _, a := range c.agents {
+		if a != oldRoot && a.Node().Active() && !a.IsRoot() {
+			leaf = a
+			break
+		}
+	}
+	answered := false
+	leaf.Query(func(s Snapshot) { answered = true })
+	c.engine.RunUntil(c.engine.Now() + 30*eventsim.Second)
+	if !answered {
+		t.Fatal("query after root migration never answered")
+	}
+}
+
+// TestReportsCountersAdvance sanity-checks the agent metrics used by
+// the SOMO experiment.
+func TestReportsCountersAdvance(t *testing.T) {
+	c := newCluster(t, 16, Config{ReportInterval: eventsim.Second}, 23)
+	c.engine.RunUntil(20 * eventsim.Second)
+	sent := uint64(0)
+	received := uint64(0)
+	for _, a := range c.agents {
+		sent += a.ReportsSent()
+		received += a.ReportsReceived()
+	}
+	if sent == 0 || received == 0 {
+		t.Fatalf("no report traffic recorded (sent=%d received=%d)", sent, received)
+	}
+}

@@ -1,0 +1,374 @@
+// Package transport abstracts message delivery between overlay nodes so
+// the same protocol state machines (DHT maintenance, SOMO gather,
+// coordinate and bandwidth probing) run unchanged in two modes:
+//
+//   - Sim: deterministic virtual-time delivery over an eventsim engine,
+//     with per-pair latency from a topology model and optional
+//     packet-pair serialization from a bandwidth model; and
+//   - Live: real goroutines and wall-clock timers for in-process demos
+//     (the LiquidEye-style monitor in cmd/poolmon).
+//
+// Addresses are host indices into the topology; protocols carry logical
+// IDs inside their own messages.
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"p2ppool/internal/eventsim"
+)
+
+// Addr identifies an attached endpoint (a host index in the topology).
+type Addr int
+
+// NoAddr is the zero-value-adjacent sentinel for "no endpoint".
+const NoAddr Addr = -1
+
+// Message is an opaque protocol payload; receivers type-switch on it.
+type Message interface{}
+
+// Handler receives a delivered message.
+type Handler func(from Addr, msg Message)
+
+// CancelFunc stops a pending timer; it reports whether it prevented the
+// callback from running.
+type CancelFunc func() bool
+
+// Network is the environment a protocol node runs in: a clock, timers,
+// randomness and message delivery.
+type Network interface {
+	// Attach registers a handler for an address. Attaching twice
+	// replaces the handler (a rejoining node).
+	Attach(a Addr, h Handler)
+	// Detach removes the endpoint; in-flight messages to it are dropped.
+	Detach(a Addr)
+	// Send delivers msg from one endpoint to another. sizeBytes models
+	// the wire size (used for serialization/packet-pair effects and
+	// traffic accounting); it must be >= 0.
+	Send(from, to Addr, sizeBytes int, msg Message)
+	// Now returns the current time in virtual milliseconds.
+	Now() eventsim.Time
+	// After schedules fn after d; the CancelFunc stops it.
+	After(d eventsim.Time, fn func()) CancelFunc
+	// Rand returns the network's random source. In Sim mode it is the
+	// engine's deterministic stream.
+	Rand() *rand.Rand
+}
+
+// Stats is cumulative traffic accounting.
+type Stats struct {
+	MessagesSent      uint64
+	MessagesDelivered uint64
+	MessagesDropped   uint64
+	BytesSent         uint64
+}
+
+// LatencyFunc returns one-way latency in milliseconds between two
+// endpoints.
+type LatencyFunc func(a, b int) float64
+
+// BottleneckFunc returns the bottleneck bandwidth in kbps of the path
+// from src to dst; it is used to serialize back-to-back messages
+// (packet-pair dispersion). A nil function means infinite bandwidth.
+type BottleneckFunc func(src, dst int) float64
+
+// Sim is the deterministic virtual-time network.
+type Sim struct {
+	engine     *eventsim.Engine
+	latency    LatencyFunc
+	bottleneck BottleneckFunc
+	lossProb   float64
+
+	handlers map[Addr]Handler
+	down     map[Addr]bool
+	// lastArrival tracks, per directed pair, when the previous message
+	// finished arriving; a message sent back-to-back lands no earlier
+	// than lastArrival + its own serialization delay, which is exactly
+	// the packet-pair dispersion the receiver measures.
+	lastArrival map[[2]Addr]eventsim.Time
+
+	stats Stats
+}
+
+// SimOptions configures a Sim network.
+type SimOptions struct {
+	// Latency is required: per-pair one-way delay.
+	Latency LatencyFunc
+	// Bottleneck is optional: enables serialization of back-to-back
+	// sends for packet-pair measurement.
+	Bottleneck BottleneckFunc
+	// LossProb drops each message independently with this probability.
+	LossProb float64
+}
+
+// NewSim creates a simulated network on the given engine.
+func NewSim(engine *eventsim.Engine, opt SimOptions) *Sim {
+	if opt.Latency == nil {
+		panic("transport: SimOptions.Latency is required")
+	}
+	return &Sim{
+		engine:      engine,
+		latency:     opt.Latency,
+		bottleneck:  opt.Bottleneck,
+		lossProb:    opt.LossProb,
+		handlers:    make(map[Addr]Handler),
+		down:        make(map[Addr]bool),
+		lastArrival: make(map[[2]Addr]eventsim.Time),
+	}
+}
+
+// Attach implements Network.
+func (s *Sim) Attach(a Addr, h Handler) { s.handlers[a] = h }
+
+// Detach implements Network.
+func (s *Sim) Detach(a Addr) { delete(s.handlers, a) }
+
+// SetDown marks an endpoint as failed (true) or recovered (false).
+// A down endpoint neither sends nor receives; its handler stays
+// registered so recovery is a single call.
+func (s *Sim) SetDown(a Addr, down bool) {
+	if down {
+		s.down[a] = true
+	} else {
+		delete(s.down, a)
+	}
+}
+
+// IsDown reports whether the endpoint is marked failed.
+func (s *Sim) IsDown(a Addr) bool { return s.down[a] }
+
+// Send implements Network. Delivery time is
+//
+//	max(now + latency, lastArrival(from,to)) + serialization
+//
+// so two messages sent in the same instant arrive separated by the
+// second one's serialization delay at the path bottleneck — the
+// packet-pair effect Section 4.2 measures.
+func (s *Sim) Send(from, to Addr, sizeBytes int, msg Message) {
+	s.stats.MessagesSent++
+	s.stats.BytesSent += uint64(sizeBytes)
+	if s.down[from] || s.down[to] {
+		s.stats.MessagesDropped++
+		return
+	}
+	if s.lossProb > 0 && s.engine.Rand().Float64() < s.lossProb {
+		s.stats.MessagesDropped++
+		return
+	}
+	lat := eventsim.Time(s.latency(int(from), int(to)))
+	arrive := s.engine.Now() + lat
+	var ser eventsim.Time
+	if s.bottleneck != nil && sizeBytes > 0 {
+		bw := s.bottleneck(int(from), int(to)) // kbps
+		if bw > 0 {
+			ser = eventsim.Time(float64(sizeBytes*8) / bw) // ms
+		}
+	}
+	key := [2]Addr{from, to}
+	if prev, ok := s.lastArrival[key]; ok && prev+ser > arrive {
+		arrive = prev + ser
+	} else {
+		arrive += ser
+	}
+	s.lastArrival[key] = arrive
+	s.engine.At(arrive, func() {
+		if s.down[to] {
+			s.stats.MessagesDropped++
+			return
+		}
+		h, ok := s.handlers[to]
+		if !ok {
+			s.stats.MessagesDropped++
+			return
+		}
+		s.stats.MessagesDelivered++
+		h(from, msg)
+	})
+}
+
+// Now implements Network.
+func (s *Sim) Now() eventsim.Time { return s.engine.Now() }
+
+// After implements Network.
+func (s *Sim) After(d eventsim.Time, fn func()) CancelFunc {
+	t := s.engine.Schedule(d, fn)
+	return t.Stop
+}
+
+// Rand implements Network.
+func (s *Sim) Rand() *rand.Rand { return s.engine.Rand() }
+
+// Stats returns a copy of the cumulative traffic counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Engine exposes the underlying event engine (experiments drive it).
+func (s *Sim) Engine() *eventsim.Engine { return s.engine }
+
+// Live is a wall-clock network for in-process demos. All message
+// deliveries AND timer callbacks are funneled through one dispatch
+// goroutine, so protocol state machines written for the (strictly
+// single-threaded) Sim environment run unmodified and race-free; the
+// cost is that a slow handler delays everyone, which is acceptable for
+// a monitoring demo.
+type Live struct {
+	mu       sync.Mutex
+	latency  LatencyFunc
+	handlers map[Addr]Handler
+	start    time.Time
+	rng      *rand.Rand
+	queue    chan func()
+	done     chan struct{}
+	closed   bool
+}
+
+// NewLive creates a live network. latency may be nil (instant delivery).
+func NewLive(latency LatencyFunc, seed int64) *Live {
+	l := &Live{
+		latency:  latency,
+		handlers: make(map[Addr]Handler),
+		start:    time.Now(),
+		rng:      rand.New(rand.NewSource(seed)),
+		queue:    make(chan func(), 4096),
+		done:     make(chan struct{}),
+	}
+	go func() {
+		defer close(l.done)
+		for fn := range l.queue {
+			fn()
+		}
+	}()
+	return l
+}
+
+// dispatch enqueues fn onto the single dispatch goroutine, dropping it
+// if the network is closed or the queue is saturated (like a full
+// socket buffer). The enqueue happens under the mutex so Close cannot
+// close the queue between the closed-check and the send.
+func (l *Live) dispatch(fn func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	select {
+	case l.queue <- fn:
+	default:
+	}
+}
+
+// Attach implements Network.
+func (l *Live) Attach(a Addr, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.handlers[a] = h
+}
+
+// Detach implements Network.
+func (l *Live) Detach(a Addr) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.handlers, a)
+}
+
+// Send implements Network.
+func (l *Live) Send(from, to Addr, sizeBytes int, msg Message) {
+	var delay time.Duration
+	if l.latency != nil {
+		delay = time.Duration(l.latency(int(from), int(to)) * float64(time.Millisecond))
+	}
+	deliver := func() {
+		l.dispatch(func() {
+			l.mu.Lock()
+			h, ok := l.handlers[to]
+			l.mu.Unlock()
+			if ok {
+				h(from, msg)
+			}
+		})
+	}
+	if delay <= 0 {
+		deliver()
+		return
+	}
+	time.AfterFunc(delay, deliver)
+}
+
+// Now implements Network: milliseconds since the live network started.
+func (l *Live) Now() eventsim.Time {
+	return eventsim.Time(time.Since(l.start).Seconds() * 1000)
+}
+
+// After implements Network. The callback runs on the dispatch
+// goroutine, serialized with message deliveries.
+func (l *Live) After(d eventsim.Time, fn func()) CancelFunc {
+	var mu sync.Mutex
+	cancelled := false
+	t := time.AfterFunc(time.Duration(float64(d)*float64(time.Millisecond)), func() {
+		l.dispatch(func() {
+			mu.Lock()
+			dead := cancelled
+			mu.Unlock()
+			if !dead {
+				fn()
+			}
+		})
+	})
+	return func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if cancelled {
+			return false
+		}
+		cancelled = true
+		return t.Stop() || true
+	}
+}
+
+// Rand implements Network. The source is guarded for concurrent use.
+func (l *Live) Rand() *rand.Rand {
+	// rand.Rand is not concurrency-safe; timers fire off the dispatch
+	// goroutine, so hand each caller a child source.
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return rand.New(rand.NewSource(l.rng.Int63()))
+}
+
+// Close detaches every endpoint and stops the dispatch goroutine.
+func (l *Live) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	for a := range l.handlers {
+		delete(l.handlers, a)
+	}
+	l.mu.Unlock()
+	close(l.queue)
+	<-l.done
+}
+
+// Run executes fn on the dispatch goroutine and waits for it — the way
+// external code (a monitoring UI) safely reads protocol state.
+func (l *Live) Run(fn func()) {
+	done := make(chan struct{})
+	l.dispatch(func() {
+		fn()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-l.done:
+	}
+}
+
+var (
+	_ Network = (*Sim)(nil)
+	_ Network = (*Live)(nil)
+)

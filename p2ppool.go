@@ -1,0 +1,119 @@
+// Package p2ppool is a Go implementation of the P2P resource pool of
+// Zhang et al., "P2P Resource Pool and Its Application to Optimize
+// Wide-Area Application Level Multicasting" (ICPP 2004), together with
+// every substrate the paper's evaluation depends on.
+//
+// A resource pool is a population of desktop-grade hosts, organized by
+// a DHT ring and continuously described by SOMO — a self-organized
+// metadata overlay that aggregates every member's resources (network
+// coordinates, access-link bottleneck bandwidths, degree availability)
+// into a queryable system-wide database. On top of the pool, task
+// managers plan degree-bounded minimum-height multicast trees (ALM
+// sessions), recruiting otherwise-idle helper peers, and multiple
+// concurrent sessions coordinate purely through market-driven priority
+// competition.
+//
+// # Quick start
+//
+//	pool, err := p2ppool.New(p2ppool.Options{Seed: 1})
+//	if err != nil { ... }
+//	tree, err := pool.PlanSession(root, members, p2ppool.PlanOptions{
+//		Mode:   p2ppool.Leafset,
+//		Adjust: true,
+//	})
+//
+// Two constructions share one surface: New computes member metrics
+// with fast deterministic solvers (experiment scale: 1200 hosts);
+// NewLive runs the full protocol stack — DHT heartbeats, SOMO gather
+// flows, coordinate estimation, packet-pair probing — on a
+// discrete-event engine (integration scale: 64-256 hosts).
+//
+// The subpackages under internal implement, bottom-up: the identifier
+// space (internal/ids), transit-stub topology generation
+// (internal/topology), host bandwidth modelling (internal/netmodel),
+// the event engine (internal/eventsim) and transports
+// (internal/transport), the DHT ring (internal/dht), SOMO
+// (internal/somo), network coordinates (internal/coords), bandwidth
+// estimation (internal/bandwidth), the DB-MHT planners (internal/alm),
+// the market-driven scheduler (internal/sched), the assembled pool
+// (internal/core) and the paper's evaluation harness
+// (internal/experiments, driven by cmd/experiments).
+package p2ppool
+
+import (
+	"p2ppool/internal/alm"
+	"p2ppool/internal/core"
+	"p2ppool/internal/sched"
+)
+
+// Pool is the assembled P2P resource pool. See core.Pool.
+type Pool = core.Pool
+
+// Options configures pool construction.
+type Options = core.Options
+
+// LiveOptions configures full-protocol pool construction.
+type LiveOptions = core.LiveOptions
+
+// Status is one member's entry in the resource database.
+type Status = core.Status
+
+// PlanOptions configures a single-session plan.
+type PlanOptions = core.PlanOptions
+
+// PlanMode selects the planner's latency knowledge.
+type PlanMode = core.PlanMode
+
+// Planner latency-knowledge modes.
+const (
+	// Critical plans with the true latency oracle.
+	Critical = core.Critical
+	// Leafset judges helper vicinity with leafset-derived coordinate
+	// estimates — the practical, fully distributed configuration.
+	Leafset = core.Leafset
+)
+
+// Tree is a rooted multicast tree produced by the planners.
+type Tree = alm.Tree
+
+// Problem is a degree-bounded minimum-height tree instance.
+type Problem = alm.Problem
+
+// HelperSet describes recruitable spare resources.
+type HelperSet = alm.HelperSet
+
+// Session is one ALM task competing in the pool.
+type Session = sched.Session
+
+// SessionID identifies a session in degree tables.
+type SessionID = sched.SessionID
+
+// Scheduler coordinates concurrent sessions market-style.
+type Scheduler = sched.Scheduler
+
+// SchedulerConfig tunes the multi-session scheduler.
+type SchedulerConfig = sched.Config
+
+// New builds a pool with fast deterministic metric computation.
+func New(opts Options) (*Pool, error) { return core.BuildFast(opts) }
+
+// NewLive builds a pool with the full protocol stack running on the
+// discrete-event engine; drive pool.Engine to make time pass.
+func NewLive(opts LiveOptions) (*Pool, error) { return core.BuildLive(opts) }
+
+// AMCast runs the baseline greedy DB-MHT heuristic (members only).
+func AMCast(p Problem) (*Tree, error) { return alm.AMCast(p) }
+
+// PlanWithHelpers runs the paper's critical-node algorithm.
+func PlanWithHelpers(p Problem, hs HelperSet) (*Tree, error) {
+	return alm.PlanWithHelpers(p, hs)
+}
+
+// Adjust applies the paper's tree-improvement moves in place and
+// returns the number of moves applied.
+func Adjust(t *Tree, lat func(a, b int) float64, bound func(v int) int) int {
+	return alm.Adjust(t, lat, bound)
+}
+
+// Improvement returns the paper's headline metric (base-alg)/base.
+func Improvement(base, alg float64) float64 { return alm.Improvement(base, alg) }

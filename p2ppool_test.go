@@ -1,0 +1,110 @@
+package p2ppool_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2ppool"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/topology"
+)
+
+// TestPublicQuickstart exercises the documented public surface
+// end-to-end: build a pool, query it, plan a session, run the
+// multi-session scheduler.
+func TestPublicQuickstart(t *testing.T) {
+	top := topology.DefaultConfig()
+	top.Hosts = 400
+	pool, err := p2ppool.New(p2ppool.Options{Topology: top, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := pool.Snapshot()
+	if len(snap) != 400 {
+		t.Fatalf("snapshot = %d records", len(snap))
+	}
+
+	r := rand.New(rand.NewSource(2))
+	perm := r.Perm(400)
+	root, members := perm[0], perm[1:20]
+
+	base, err := pool.PlanSession(root, members, p2ppool.PlanOptions{NoHelpers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := pool.PlanSession(root, members, p2ppool.PlanOptions{
+		Mode:   p2ppool.Leafset,
+		Adjust: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := p2ppool.Improvement(base.MaxHeight(pool.TrueLatency), leaf.MaxHeight(pool.TrueLatency))
+	if imp < 0 {
+		t.Errorf("leafset plan should not be worse than the baseline (improvement %.3f)", imp)
+	}
+
+	sc := pool.NewScheduler(p2ppool.SchedulerConfig{})
+	for i := 0; i < 3; i++ {
+		nodes := perm[i*20 : (i+1)*20]
+		if err := sc.AddSession(&p2ppool.Session{
+			ID:       p2ppool.SessionID(i + 1),
+			Priority: 1 + i%3,
+			Root:     nodes[0],
+			Members:  append([]int(nil), nodes[1:]...),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sc.Sessions() {
+		if s.Tree == nil {
+			t.Fatalf("session %d unplanned", s.ID)
+		}
+	}
+}
+
+func TestPublicDirectPlanners(t *testing.T) {
+	lat := func(a, b int) float64 {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return float64(d * 10)
+	}
+	deg := func(int) int { return 3 }
+	p := p2ppool.Problem{Root: 0, Members: []int{1, 2, 3, 4, 5}, Latency: lat, Degree: deg}
+	tree, err := p2ppool.AMCast(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tree.MaxHeight(lat)
+	p2ppool.Adjust(tree, lat, deg)
+	if tree.MaxHeight(lat) > before {
+		t.Error("adjust worsened the tree")
+	}
+	withHelp, err := p2ppool.PlanWithHelpers(p, p2ppool.HelperSet{Candidates: []int{6}, Radius: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := withHelp.Validate(deg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicLivePool(t *testing.T) {
+	top := topology.DefaultConfig()
+	top.Hosts = 48
+	pool, err := p2ppool.NewLive(p2ppool.LiveOptions{
+		Options:  p2ppool.Options{Topology: top, Seed: 3, LeafsetRadius: 6},
+		Converge: 30 * eventsim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pool.Snapshot()) < 40 {
+		t.Fatalf("live snapshot too small: %d", len(pool.Snapshot()))
+	}
+}
