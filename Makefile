@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test race vet bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the short test set: the parallel paths (topology all-pairs,
+# experiment fan-out, worker pool) are all exercised under -short.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .
+
+ci: build vet test race

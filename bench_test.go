@@ -12,6 +12,7 @@ package p2ppool_test
 // regressions in speed.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -324,6 +325,62 @@ func BenchmarkTopologyGenerate(b *testing.B) {
 		cfg := topology.DefaultConfig()
 		cfg.Seed = int64(i)
 		if _, err := topology.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopologyBuild isolates the tentpole's first hot path: the
+// paper-scale build (600-router all-pairs Dijkstra) at a fixed seed,
+// with the worker pool at 1 and at NumCPU.
+func BenchmarkTopologyBuild(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "workers=1"
+		if workers == 0 {
+			name = "workers=NumCPU"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := topology.DefaultConfig()
+				cfg.Workers = workers
+				if _, err := topology.Generate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAMCastPlan isolates the tentpole's second hot path: the
+// baseline greedy planner with incremental relaxation, across the
+// group sizes the figure sweeps cover.
+func BenchmarkAMCastPlan(b *testing.B) {
+	pool := benchPool(b, 1200)
+	r := rand.New(rand.NewSource(9))
+	perm := r.Perm(1200)
+	for _, gs := range []int{20, 100, 200} {
+		b.Run(fmt.Sprintf("group=%d", gs), func(b *testing.B) {
+			p := alm.Problem{
+				Root: perm[0], Members: perm[1:gs],
+				Latency: pool.TrueLatency, Degree: pool.DegreeBound,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := alm.AMCast(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPoolBuild measures full fast-mode pool assembly at paper
+// scale: topology + all-pairs, capacities, coordinate solve, one
+// bandwidth probing round.
+func BenchmarkPoolBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		top := topology.DefaultConfig()
+		if _, err := p2ppool.New(p2ppool.Options{Topology: top, Seed: 7}); err != nil {
 			b.Fatal(err)
 		}
 	}

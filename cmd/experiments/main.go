@@ -9,6 +9,11 @@
 //	experiments -fig 8 -runs 5           # Figure 8 with 5 runs/size
 //	experiments -fig 10 -seed 7          # Figure 10, different seed
 //	experiments -fig 4 -csv out/         # also write CSV files
+//	experiments -fig all -workers 4      # bound the worker pool
+//
+// Experiments run on a bounded worker pool (-workers, default
+// runtime.NumCPU()); all randomness is drawn sequentially before the
+// fan-out, so the output is byte-identical for any worker count.
 //
 // Figures: 4 (coordinates), 5 (bandwidth), 8 (single-session ALM),
 // 10 (multi-session market scheduling), somo (Section 3.2 aggregation
@@ -20,18 +25,21 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"p2ppool/internal/experiments"
 )
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, ablations, all")
-		seed   = flag.Int64("seed", 1, "experiment seed (same seed => identical output)")
-		runs   = flag.Int("runs", 0, "override repetition count (0 = experiment default)")
-		hosts  = flag.Int("hosts", 0, "override pool size (0 = paper default 1200)")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, ablations, all")
+		seed    = flag.Int64("seed", 1, "experiment seed (same seed => identical output)")
+		runs    = flag.Int("runs", 0, "override repetition count (0 = experiment default)")
+		hosts   = flag.Int("hosts", 0, "override pool size (0 = paper default 1200)")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker-pool size; output is identical for any value")
 	)
 	flag.Parse()
 
@@ -48,52 +56,54 @@ func main() {
 	var results []experiments.Result
 	run := func(name string, f func() (experiments.Result, error)) {
 		fmt.Fprintf(os.Stderr, "running %s...\n", name)
+		start := time.Now()
 		res, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+		fmt.Fprintf(os.Stderr, "%s done in %.2fs\n", name, time.Since(start).Seconds())
 		results = append(results, res)
 	}
 
 	if has("4") {
 		run("figure 4", func() (experiments.Result, error) {
-			return experiments.Fig4(experiments.Fig4Options{Hosts: *hosts, Seed: *seed})
+			return experiments.Fig4(experiments.Fig4Options{Hosts: *hosts, Seed: *seed, Workers: *workers})
 		})
 	}
 	if has("5") {
 		run("figure 5", func() (experiments.Result, error) {
-			return experiments.Fig5(experiments.Fig5Options{Hosts: *hosts, Seed: *seed})
+			return experiments.Fig5(experiments.Fig5Options{Hosts: *hosts, Seed: *seed, Workers: *workers})
 		})
 	}
 	if has("8") {
 		run("figure 8", func() (experiments.Result, error) {
-			return experiments.Fig8(experiments.Fig8Options{Hosts: *hosts, Runs: *runs, Seed: *seed})
+			return experiments.Fig8(experiments.Fig8Options{Hosts: *hosts, Runs: *runs, Seed: *seed, Workers: *workers})
 		})
 	}
 	if has("10") || has("10a") || has("10b") {
 		run("figure 10", func() (experiments.Result, error) {
-			return experiments.Fig10(experiments.Fig10Options{Hosts: *hosts, Runs: *runs, Seed: *seed})
+			return experiments.Fig10(experiments.Fig10Options{Hosts: *hosts, Runs: *runs, Seed: *seed, Workers: *workers})
 		})
 	}
 	if has("somo") {
 		run("somo study", func() (experiments.Result, error) {
-			return experiments.SOMOExperiment(experiments.SOMOOptions{Seed: *seed})
+			return experiments.SOMOExperiment(experiments.SOMOOptions{Seed: *seed, Workers: *workers})
 		})
 	}
 	if has("qos") {
 		run("qos comparison", func() (experiments.Result, error) {
-			return experiments.QoS(experiments.QoSOptions{Hosts: *hosts, Runs: *runs, Seed: *seed})
+			return experiments.QoS(experiments.QoSOptions{Hosts: *hosts, Runs: *runs, Seed: *seed, Workers: *workers})
 		})
 	}
 	if has("churn") {
 		run("churn study", func() (experiments.Result, error) {
-			return experiments.Churn(experiments.ChurnOptions{Nodes: *hosts, Seed: *seed})
+			return experiments.Churn(experiments.ChurnOptions{Nodes: *hosts, Seed: *seed, Workers: *workers})
 		})
 	}
 	if has("ablations") {
 		run("ablations", func() (experiments.Result, error) {
-			return experiments.Ablations(experiments.AblationOptions{Hosts: *hosts, Runs: *runs, Seed: *seed})
+			return experiments.Ablations(experiments.AblationOptions{Hosts: *hosts, Runs: *runs, Seed: *seed, Workers: *workers})
 		})
 	}
 	if len(results) == 0 {

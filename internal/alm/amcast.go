@@ -116,6 +116,10 @@ func plan(p Problem, hs HelperSet) (*Tree, error) {
 
 	free := func(v int) int { return p.Degree(v) - t.Degree(v) }
 
+	// added collects the nodes attached in one iteration — the only new
+	// parent candidates the incremental relaxation below must consider.
+	var added []int
+
 	for len(remaining) > 0 {
 		// Find the unattached member with minimum height.
 		u, best := -1, math.Inf(1)
@@ -135,7 +139,7 @@ func plan(p Problem, hs HelperSet) (*Tree, error) {
 			pu = parent[u]
 		}
 
-		attached := false
+		added = added[:0]
 		if len(candidates) > 0 && free(pu) == 1 {
 			// Critical point: u would take pu's last slot. Try to
 			// recruit a helper to take it instead.
@@ -148,21 +152,41 @@ func plan(p Problem, hs HelperSet) (*Tree, error) {
 					return nil, err
 				}
 				treeHeight[u] = treeHeight[h] + p.Latency(h, u)
-				attached = true
+				added = append(added, h, u)
 			}
 		}
-		if !attached {
+		if len(added) == 0 {
 			if err := t.Attach(u, pu); err != nil {
 				return nil, err
 			}
 			treeHeight[u] = treeHeight[pu] + p.Latency(pu, u)
+			added = append(added, u)
 		}
 		delete(remaining, u)
 
-		// Re-relax every remaining member against the grown tree.
+		// Incremental relaxation. A full pass over the tree is not
+		// needed: attachments never change an existing node's height and
+		// free degree only shrinks, so a member's cached (height, parent)
+		// remains the minimum over the old tree as long as that parent
+		// keeps a free slot. Only two updates can change a member's best:
+		// the nodes just attached become new candidates, and a cached
+		// parent that just saturated invalidates the cache. Comparisons
+		// use the same (height, node-id) order as relaxOne, so the
+		// resulting tree is identical to the full re-relaxation.
 		for v := range remaining {
-			if !relaxOne(v, t, p, treeHeight, height, parent, free) {
-				return nil, fmt.Errorf("alm: no feasible parent for member %d (degree bounds too tight)", v)
+			for _, w := range added {
+				if free(w) <= 0 {
+					continue
+				}
+				h := treeHeight[w] + p.Latency(w, v)
+				if h < height[v] || (h == height[v] && w < parent[v]) {
+					height[v], parent[v] = h, w
+				}
+			}
+			if free(parent[v]) <= 0 {
+				if !relaxOne(v, t, p, treeHeight, height, parent, free) {
+					return nil, fmt.Errorf("alm: no feasible parent for member %d (degree bounds too tight)", v)
+				}
 			}
 		}
 	}

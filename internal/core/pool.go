@@ -62,6 +62,10 @@ type Options struct {
 	CoordRounds int
 	// Seed drives all pool-level randomness.
 	Seed int64
+	// Workers bounds construction parallelism (the topology's all-pairs
+	// shortest paths); <= 0 means runtime.NumCPU(). The built pool is
+	// identical for any worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +73,9 @@ func (o Options) withDefaults() Options {
 		top := topology.DefaultConfig()
 		top.Seed = o.Seed
 		o.Topology = top
+	}
+	if o.Topology.Workers == 0 {
+		o.Topology.Workers = o.Workers
 	}
 	if o.Bandwidth.Seed == 0 {
 		o.Bandwidth.Seed = o.Seed + 1

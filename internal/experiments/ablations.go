@@ -6,6 +6,7 @@ import (
 	"p2ppool/internal/alm"
 	"p2ppool/internal/coords"
 	"p2ppool/internal/core"
+	"p2ppool/internal/par"
 	"p2ppool/internal/stats"
 	"p2ppool/internal/topology"
 )
@@ -17,6 +18,9 @@ type AblationOptions struct {
 	GroupSize int
 	Runs      int
 	Seed      int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// output is identical for any worker count.
+	Workers int
 }
 
 func (o AblationOptions) withDefaults() AblationOptions {
@@ -54,37 +58,52 @@ func Ablations(opts AblationOptions) (*AblationResult, error) {
 	top := topology.DefaultConfig()
 	top.Hosts = opts.Hosts
 	top.Seed = opts.Seed
-	pool, err := core.BuildFast(core.Options{Topology: top, Seed: opts.Seed})
+	pool, err := core.BuildFast(core.Options{Topology: top, Seed: opts.Seed, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
 	res := &AblationResult{Opts: opts}
 
-	// Shared set of sessions for all planner ablations.
+	// Shared set of sessions for all planner ablations: memberships are
+	// pre-drawn sequentially, then the baselines (which consume no
+	// randomness) are planned on the worker pool.
 	type session struct {
 		root    int
 		members []int
 		hBase   float64
 	}
 	r := rand.New(rand.NewSource(opts.Seed + 1))
-	sessions := make([]session, opts.Runs)
-	for i := range sessions {
-		perm := r.Perm(opts.Hosts)
+	perms := make([][]int, opts.Runs)
+	for i := range perms {
+		perms[i] = r.Perm(opts.Hosts)
+	}
+	sessions, err := par.MapErr(opts.Workers, opts.Runs, func(i int) (session, error) {
+		perm := perms[i]
 		root, members := perm[0], perm[1:opts.GroupSize]
 		base, err := pool.PlanSession(root, members, core.PlanOptions{NoHelpers: true})
 		if err != nil {
-			return nil, err
+			return session{}, err
 		}
-		sessions[i] = session{root: root, members: members, hBase: base.MaxHeight(pool.TrueLatency)}
+		return session{root: root, members: members, hBase: base.MaxHeight(pool.TrueLatency)}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	avgImp := func(opt core.PlanOptions) (float64, error) {
-		total := 0.0
-		for _, s := range sessions {
+		imps, err := par.MapErr(opts.Workers, len(sessions), func(i int) (float64, error) {
+			s := sessions[i]
 			tr, err := pool.PlanSession(s.root, s.members, opt)
 			if err != nil {
 				return 0, err
 			}
-			total += alm.Improvement(s.hBase, tr.MaxHeight(pool.TrueLatency))
+			return alm.Improvement(s.hBase, tr.MaxHeight(pool.TrueLatency)), nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		total := 0.0
+		for _, imp := range imps {
+			total += imp
 		}
 		return total / float64(len(sessions)), nil
 	}
@@ -152,24 +171,35 @@ func Ablations(opts AblationOptions) (*AblationResult, error) {
 	pr := rand.New(rand.NewSource(opts.Seed + 9))
 	pairs := coords.RandomPairs(opts.Hosts, 1500, pr)
 	nb := ringNeighborsFn(opts.Hosts, 32, rand.New(rand.NewSource(opts.Seed+10)))
+	type solverCell struct {
+		sim bool
+		dim int
+	}
+	var solverCells []solverCell
 	for _, sim := range []bool{false, true} {
 		for _, dim := range []int{3, 5, 7} {
-			cs, err := coords.SolveLeafset(pool.TrueLatency, opts.Hosts, nb, coords.LeafsetConfig{
-				Dim: dim, Rounds: 15, Seed: opts.Seed + 11, Core: 33, Simultaneous: sim,
-			})
-			if err != nil {
-				return nil, err
-			}
-			errs := coords.PairErrors(cs, pool.TrueLatency, pairs)
-			name := "incremental"
-			if sim {
-				name = "simultaneous"
-			}
-			solver.Rows = append(solver.Rows, []string{
-				name, d(dim), f3(stats.Median(errs)), f3(stats.Percentile(errs, 90)),
-			})
+			solverCells = append(solverCells, solverCell{sim: sim, dim: dim})
 		}
 	}
+	solverRows, err := par.MapErr(opts.Workers, len(solverCells), func(i int) ([]string, error) {
+		sim, dim := solverCells[i].sim, solverCells[i].dim
+		cs, err := coords.SolveLeafset(pool.TrueLatency, opts.Hosts, nb, coords.LeafsetConfig{
+			Dim: dim, Rounds: 15, Seed: opts.Seed + 11, Core: 33, Simultaneous: sim,
+		})
+		if err != nil {
+			return nil, err
+		}
+		errs := coords.PairErrors(cs, pool.TrueLatency, pairs)
+		name := "incremental"
+		if sim {
+			name = "simultaneous"
+		}
+		return []string{name, d(dim), f3(stats.Median(errs)), f3(stats.Percentile(errs, 90))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	solver.Rows = append(solver.Rows, solverRows...)
 	res.tables = append(res.tables, solver)
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"p2ppool/internal/dht"
 	"p2ppool/internal/eventsim"
+	"p2ppool/internal/par"
 	"p2ppool/internal/somo"
 	"p2ppool/internal/transport"
 )
@@ -20,6 +21,9 @@ type ChurnOptions struct {
 	// ReportInterval T.
 	ReportInterval eventsim.Time
 	Seed           int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// output is identical for any worker count.
+	Workers int
 }
 
 func (o ChurnOptions) withDefaults() ChurnOptions {
@@ -61,15 +65,15 @@ type ChurnResult struct {
 // global view of the survivors.
 func Churn(opts ChurnOptions) (*ChurnResult, error) {
 	opts = opts.withDefaults()
-	res := &ChurnResult{Opts: opts}
-	for _, frac := range opts.CrashFractions {
-		row, err := churnRun(frac, opts)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+	// Each crash fraction builds its own engine and rng seeded by the
+	// fraction, so the sweep parallelizes as-is; rows merge in order.
+	rows, err := par.MapErr(opts.Workers, len(opts.CrashFractions), func(i int) (ChurnRow, error) {
+		return churnRun(opts.CrashFractions[i], opts)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ChurnResult{Opts: opts, Rows: rows}, nil
 }
 
 func churnRun(frac float64, opts ChurnOptions) (ChurnRow, error) {

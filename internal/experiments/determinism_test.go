@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"p2ppool/internal/eventsim"
+)
+
+// The parallel-determinism contract: every experiment draws all of its
+// randomness sequentially before fanning deterministic work out over
+// the worker pool and merges results in run order, so the rendered
+// output is byte-identical for any Workers value. These tests are the
+// guardrail: each figure runs with Workers 1 and 8 at the same seed
+// and the rendered tables (text and CSV) must match exactly.
+
+func renderAll(res Result) string {
+	var b strings.Builder
+	for _, tab := range res.Tables() {
+		b.WriteString(tab.String())
+		b.WriteString(tab.CSV())
+	}
+	return b.String()
+}
+
+func assertWorkerInvariant(t *testing.T, run func(workers int) (Result, error)) {
+	t.Helper()
+	seq, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parl, err := run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := renderAll(seq), renderAll(parl)
+	if a != b {
+		t.Errorf("output differs between Workers=1 and Workers=8:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", a, b)
+	}
+}
+
+func TestFig4WorkerDeterminism(t *testing.T) {
+	assertWorkerInvariant(t, func(w int) (Result, error) {
+		return Fig4(Fig4Options{Hosts: 300, Pairs: 400, Seed: 1, Workers: w})
+	})
+}
+
+func TestFig5WorkerDeterminism(t *testing.T) {
+	assertWorkerInvariant(t, func(w int) (Result, error) {
+		return Fig5(Fig5Options{Hosts: 300, LeafsetSizes: []int{4, 8, 16}, Seed: 1, Workers: w})
+	})
+}
+
+func TestFig8WorkerDeterminism(t *testing.T) {
+	assertWorkerInvariant(t, func(w int) (Result, error) {
+		return Fig8(Fig8Options{Hosts: 400, GroupSizes: []int{10, 20}, Runs: 3, Seed: 1, Workers: w})
+	})
+}
+
+func TestFig10WorkerDeterminism(t *testing.T) {
+	assertWorkerInvariant(t, func(w int) (Result, error) {
+		return Fig10(Fig10Options{Hosts: 400, SessionCounts: []int{4, 8}, GroupSize: 10, Runs: 2, Seed: 1, Workers: w})
+	})
+}
+
+func TestQoSWorkerDeterminism(t *testing.T) {
+	assertWorkerInvariant(t, func(w int) (Result, error) {
+		return QoS(QoSOptions{Hosts: 400, GroupSize: 10, Runs: 4, Seed: 1, Workers: w})
+	})
+}
+
+func TestChurnWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("event-driven churn study is slow; covered by the long run")
+	}
+	assertWorkerInvariant(t, func(w int) (Result, error) {
+		return Churn(ChurnOptions{Nodes: 64, CrashFractions: []float64{0.1, 0.2}, Seed: 1, Workers: w})
+	})
+}
+
+func TestSOMOWorkerDeterminism(t *testing.T) {
+	assertWorkerInvariant(t, func(w int) (Result, error) {
+		return SOMOExperiment(SOMOOptions{
+			Sizes: []int{64}, Fanouts: []int{2, 8}, Runtime: 45 * eventsim.Second,
+			Seed: 1, Workers: w,
+		})
+	})
+}
+
+func TestAblationsWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow; covered by the long run")
+	}
+	assertWorkerInvariant(t, func(w int) (Result, error) {
+		return Ablations(AblationOptions{Hosts: 300, GroupSize: 10, Runs: 3, Seed: 1, Workers: w})
+	})
+}

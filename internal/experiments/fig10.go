@@ -6,6 +6,7 @@ import (
 
 	"p2ppool/internal/alm"
 	"p2ppool/internal/core"
+	"p2ppool/internal/par"
 	"p2ppool/internal/sched"
 	"p2ppool/internal/topology"
 )
@@ -24,6 +25,9 @@ type Fig10Options struct {
 	// Radius R for helper admission.
 	Radius float64
 	Seed   int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// output is identical for any worker count.
+	Workers int
 }
 
 func (o Fig10Options) withDefaults() Fig10Options {
@@ -85,11 +89,96 @@ func Fig10(opts Fig10Options) (*Fig10Result, error) {
 	top := topology.DefaultConfig()
 	top.Hosts = opts.Hosts
 	top.Seed = opts.Seed
-	pool, err := core.BuildFast(core.Options{Topology: top, Seed: opts.Seed})
+	pool, err := core.BuildFast(core.Options{Topology: top, Seed: opts.Seed, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
+
+	// Each (session count, run) cell draws from its own rng seeded by
+	// (nSessions, run), so cells execute on a worker pool as-is; each
+	// returns its per-session measurements in session order, and the
+	// merge below replays the sequential accumulation order — identical
+	// output for any Workers value.
+	type cellKey struct{ nSessions, run int }
+	var cells []cellKey
+	for _, nSessions := range opts.SessionCounts {
+		for run := 0; run < opts.Runs; run++ {
+			cells = append(cells, cellKey{nSessions: nSessions, run: run})
+		}
+	}
+	type sessOut struct {
+		priority     int
+		lo, hi       float64
+		imp, helpers float64
+	}
+	outs, err := par.MapErr(opts.Workers, len(cells), func(ci int) ([]sessOut, error) {
+		nSessions := cells[ci].nSessions
+		r := rand.New(rand.NewSource(opts.Seed + int64(1000*nSessions+cells[ci].run)))
+		perm := r.Perm(opts.Hosts)
+		sc := pool.NewScheduler(sched.Config{HelperRadius: opts.Radius})
+		type info struct {
+			s    *sched.Session
+			base float64
+		}
+		var infos []info
+		sess := make([]sessOut, 0, nSessions)
+		for i := 0; i < nSessions; i++ {
+			nodes := perm[i*opts.GroupSize : (i+1)*opts.GroupSize]
+			root, members := nodes[0], nodes[1:]
+			// Per-session baselines on the unloaded pool.
+			base, err := pool.PlanSession(root, members, core.PlanOptions{
+				NoHelpers: true, Radius: opts.Radius,
+			})
+			if err != nil {
+				return nil, err
+			}
+			hPlain := base.MaxHeight(pool.TrueLatency)
+			lower, err := pool.PlanSession(root, members, core.PlanOptions{
+				NoHelpers: true, Adjust: true, Radius: opts.Radius,
+			})
+			if err != nil {
+				return nil, err
+			}
+			upper, err := pool.PlanSession(root, members, core.PlanOptions{
+				Mode: core.Leafset, Adjust: true, Radius: opts.Radius,
+			})
+			if err != nil {
+				return nil, err
+			}
+			sess = append(sess, sessOut{
+				lo: alm.Improvement(hPlain, lower.MaxHeight(pool.TrueLatency)),
+				hi: alm.Improvement(hPlain, upper.MaxHeight(pool.TrueLatency)),
+			})
+			s := &sched.Session{
+				ID:       sched.SessionID(i + 1),
+				Priority: 1 + r.Intn(3),
+				Root:     root,
+				Members:  append([]int(nil), members...),
+			}
+			if err := sc.AddSession(s); err != nil {
+				return nil, err
+			}
+			infos = append(infos, info{s: s, base: hPlain})
+		}
+		if _, err := sc.Stabilize(); err != nil {
+			return nil, err
+		}
+		if err := sc.Registry().CheckInvariants(); err != nil {
+			return nil, err
+		}
+		for i, in := range infos {
+			sess[i].priority = in.s.Priority
+			sess[i].imp = alm.Improvement(in.base, in.s.Tree.MaxHeight(pool.TrueLatency))
+			sess[i].helpers = float64(in.s.HelperCount())
+		}
+		return sess, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Fig10Result{Opts: opts}
+	ci := 0
 	for _, nSessions := range opts.SessionCounts {
 		var row Fig10Row
 		row.Sessions = nSessions
@@ -98,64 +187,17 @@ func Fig10(opts Fig10Options) (*Fig10Result, error) {
 		var loSum, hiSum float64
 		var loCount int
 		for run := 0; run < opts.Runs; run++ {
-			r := rand.New(rand.NewSource(opts.Seed + int64(1000*nSessions+run)))
-			perm := r.Perm(opts.Hosts)
-			sc := pool.NewScheduler(sched.Config{HelperRadius: opts.Radius})
-			type info struct {
-				s     *sched.Session
-				base  float64
-				upper float64
-			}
-			var infos []info
-			for i := 0; i < nSessions; i++ {
-				nodes := perm[i*opts.GroupSize : (i+1)*opts.GroupSize]
-				root, members := nodes[0], nodes[1:]
-				// Per-session baselines on the unloaded pool.
-				base, err := pool.PlanSession(root, members, core.PlanOptions{
-					NoHelpers: true, Radius: opts.Radius,
-				})
-				if err != nil {
-					return nil, err
-				}
-				hPlain := base.MaxHeight(pool.TrueLatency)
-				lower, err := pool.PlanSession(root, members, core.PlanOptions{
-					NoHelpers: true, Adjust: true, Radius: opts.Radius,
-				})
-				if err != nil {
-					return nil, err
-				}
-				upper, err := pool.PlanSession(root, members, core.PlanOptions{
-					Mode: core.Leafset, Adjust: true, Radius: opts.Radius,
-				})
-				if err != nil {
-					return nil, err
-				}
-				loSum += alm.Improvement(hPlain, lower.MaxHeight(pool.TrueLatency))
-				hiSum += alm.Improvement(hPlain, upper.MaxHeight(pool.TrueLatency))
+			sess := outs[ci]
+			ci++
+			for _, so := range sess {
+				loSum += so.lo
+				hiSum += so.hi
 				loCount++
-				s := &sched.Session{
-					ID:       sched.SessionID(i + 1),
-					Priority: 1 + r.Intn(3),
-					Root:     root,
-					Members:  append([]int(nil), members...),
-				}
-				if err := sc.AddSession(s); err != nil {
-					return nil, err
-				}
-				infos = append(infos, info{s: s, base: hPlain})
 			}
-			if _, err := sc.Stabilize(); err != nil {
-				return nil, err
-			}
-			if err := sc.Registry().CheckInvariants(); err != nil {
-				return nil, err
-			}
-			for _, in := range infos {
-				h := in.s.Tree.MaxHeight(pool.TrueLatency)
-				p := in.s.Priority
-				impSum[p] += alm.Improvement(in.base, h)
-				helpSum[p] += float64(in.s.HelperCount())
-				impCount[p]++
+			for _, so := range sess {
+				impSum[so.priority] += so.imp
+				helpSum[so.priority] += so.helpers
+				impCount[so.priority]++
 			}
 		}
 		for p := 1; p <= 3; p++ {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"p2ppool/internal/coords"
+	"p2ppool/internal/par"
 	"p2ppool/internal/stats"
 	"p2ppool/internal/topology"
 )
@@ -19,6 +20,9 @@ type Fig4Options struct {
 	Dim int
 	// Seed drives everything.
 	Seed int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// output is identical for any worker count.
+	Workers int
 }
 
 func (o Fig4Options) withDefaults() Fig4Options {
@@ -49,12 +53,17 @@ type Fig4Result struct {
 	Series []Fig4Series
 }
 
-// Fig4 runs the experiment.
+// Fig4 runs the experiment. All randomness is drawn sequentially up
+// front (probe pairs, then the landmark sets in sweep order, exactly
+// as the sequential harness drew them); the four solver runs then
+// execute on a worker pool and merge in sweep order, so the result is
+// identical for any Workers value.
 func Fig4(opts Fig4Options) (*Fig4Result, error) {
 	opts = opts.withDefaults()
 	topCfg := topology.DefaultConfig()
 	topCfg.Hosts = opts.Hosts
 	topCfg.Seed = opts.Seed
+	topCfg.Workers = opts.Workers
 	net, err := topology.Generate(topCfg)
 	if err != nil {
 		return nil, err
@@ -62,46 +71,56 @@ func Fig4(opts Fig4Options) (*Fig4Result, error) {
 	r := rand.New(rand.NewSource(opts.Seed + 1))
 	pairs := coords.RandomPairs(opts.Hosts, opts.Pairs, r)
 
-	res := &Fig4Result{Opts: opts}
-
-	// GNP with 16 and 32 landmarks.
+	// Pre-drawn inputs for each series, in sweep order.
+	type task struct {
+		name  string
+		solve func() ([]coords.Vector, error)
+	}
+	var tasks []task
 	for _, nl := range []int{16, 32} {
 		lms := distinct(r, opts.Hosts, nl)
-		cs, err := coords.SolveGNP(net.Latency, opts.Hosts, lms, coords.GNPConfig{
-			Dim:  opts.Dim,
-			Seed: opts.Seed + 2,
+		tasks = append(tasks, task{
+			name: fmt.Sprintf("GNP-%d", nl),
+			solve: func() ([]coords.Vector, error) {
+				return coords.SolveGNP(net.Latency, opts.Hosts, lms, coords.GNPConfig{
+					Dim:  opts.Dim,
+					Seed: opts.Seed + 2,
+				})
+			},
 		})
-		if err != nil {
-			return nil, err
-		}
-		errs := coords.PairErrors(cs, net.Latency, pairs)
-		res.Series = append(res.Series, Fig4Series{
-			Name:   fmt.Sprintf("GNP-%d", nl),
-			Errors: errs,
-			CDF:    stats.NewCDF(errs),
+	}
+	for _, L := range []int{16, 32} {
+		L := L
+		tasks = append(tasks, task{
+			name: fmt.Sprintf("Leafset-%d", L),
+			solve: func() ([]coords.Vector, error) {
+				nb := ringNeighborsFn(opts.Hosts, L, rand.New(rand.NewSource(opts.Seed+3)))
+				return coords.SolveLeafset(net.Latency, opts.Hosts, nb, coords.LeafsetConfig{
+					Dim:    opts.Dim,
+					Rounds: 15,
+					Seed:   opts.Seed + 4,
+					Core:   L + 1,
+				})
+			},
 		})
 	}
 
-	// Leafset variant with total leafset sizes 16 and 32.
-	for _, L := range []int{16, 32} {
-		nb := ringNeighborsFn(opts.Hosts, L, rand.New(rand.NewSource(opts.Seed+3)))
-		cs, err := coords.SolveLeafset(net.Latency, opts.Hosts, nb, coords.LeafsetConfig{
-			Dim:    opts.Dim,
-			Rounds: 15,
-			Seed:   opts.Seed + 4,
-			Core:   L + 1,
-		})
+	series, err := par.MapErr(opts.Workers, len(tasks), func(i int) (Fig4Series, error) {
+		cs, err := tasks[i].solve()
 		if err != nil {
-			return nil, err
+			return Fig4Series{}, err
 		}
 		errs := coords.PairErrors(cs, net.Latency, pairs)
-		res.Series = append(res.Series, Fig4Series{
-			Name:   fmt.Sprintf("Leafset-%d", L),
+		return Fig4Series{
+			Name:   tasks[i].name,
 			Errors: errs,
 			CDF:    stats.NewCDF(errs),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig4Result{Opts: opts, Series: series}, nil
 }
 
 // Tables renders the CDF grid plus a summary.

@@ -5,6 +5,7 @@ import (
 
 	"p2ppool/internal/bandwidth"
 	"p2ppool/internal/netmodel"
+	"p2ppool/internal/par"
 	"p2ppool/internal/stats"
 )
 
@@ -21,6 +22,9 @@ type Fig5Options struct {
 	// default 0).
 	Noise float64
 	Seed  int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// output is identical for any worker count.
+	Workers int
 }
 
 func (o Fig5Options) withDefaults() Fig5Options {
@@ -70,7 +74,10 @@ func Fig5(opts Fig5Options) (*Fig5Result, error) {
 	for i := range truthUp {
 		truthUp[i] = model.Up(i)
 	}
-	for _, L := range opts.LeafsetSizes {
+	// Each leafset size draws from its own seeded rng, so the sweep
+	// parallelizes as-is; rows merge in sweep order.
+	rows, err := par.MapErr(opts.Workers, len(opts.LeafsetSizes), func(i int) (Fig5Row, error) {
+		L := opts.LeafsetSizes[i]
 		nb := ringNeighborsFn(opts.Hosts, L, rand.New(rand.NewSource(opts.Seed+int64(10*L))))
 		est := bandwidth.EstimateAll(model, nb, opts.ProbeBytes, rand.New(rand.NewSource(opts.Seed+int64(L))))
 		up, down := bandwidth.RelativeErrors(model, est)
@@ -80,15 +87,19 @@ func Fig5(opts Fig5Options) (*Fig5Result, error) {
 		}
 		rc, err := stats.SpearmanRank(truthUp, estUp)
 		if err != nil {
-			return nil, err
+			return Fig5Row{}, err
 		}
-		res.Rows = append(res.Rows, Fig5Row{
+		return Fig5Row{
 			LeafsetSize:  L,
 			AvgUpError:   stats.Mean(up),
 			AvgDownError: stats.Mean(down),
 			UpRankCorr:   rc,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"p2ppool/internal/alm"
 	"p2ppool/internal/core"
+	"p2ppool/internal/par"
 	"p2ppool/internal/topology"
 )
 
@@ -20,6 +21,9 @@ type Fig8Options struct {
 	// Radius R for helper admission.
 	Radius float64
 	Seed   int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// output is identical for any worker count.
+	Workers int
 }
 
 func (o Fig8Options) withDefaults() Fig8Options {
@@ -60,75 +64,108 @@ type Fig8Result struct {
 // Fig8 runs the experiment: for each group size, Runs random sessions
 // are planned by every algorithm over the same pool, and improvements
 // are measured against plain AMCast with true latencies.
+//
+// The session memberships are pre-drawn sequentially from the rng in
+// sweep order (the order the sequential harness drew them); the
+// deterministic planning work for each (group size, run) cell then
+// executes on a worker pool, and per-run results are accumulated in
+// run order so the averages see the exact float-op sequence of the
+// sequential loop — identical output for any Workers value.
 func Fig8(opts Fig8Options) (*Fig8Result, error) {
 	opts = opts.withDefaults()
 	top := topology.DefaultConfig()
 	top.Hosts = opts.Hosts
 	top.Seed = opts.Seed
-	pool, err := core.BuildFast(core.Options{Topology: top, Seed: opts.Seed})
+	pool, err := core.BuildFast(core.Options{Topology: top, Seed: opts.Seed, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig8Result{Opts: opts}
-	r := rand.New(rand.NewSource(opts.Seed + 1))
 	for _, gs := range opts.GroupSizes {
 		if gs < 2 || gs > opts.Hosts {
 			return nil, fmt.Errorf("experiments: group size %d out of range", gs)
 		}
+	}
+
+	// Pre-draw every session membership in sweep order.
+	r := rand.New(rand.NewSource(opts.Seed + 1))
+	type cell struct {
+		gs   int
+		perm []int
+	}
+	cells := make([]cell, 0, len(opts.GroupSizes)*opts.Runs)
+	for _, gs := range opts.GroupSizes {
+		for run := 0; run < opts.Runs; run++ {
+			cells = append(cells, cell{gs: gs, perm: r.Perm(opts.Hosts)})
+		}
+	}
+
+	// One run's contributions to its row.
+	type runOut struct {
+		amcastAdjust, critical, criticalAdj float64
+		leafset, leafsetAdj, bound, helpers float64
+	}
+	outs, err := par.MapErr(opts.Workers, len(cells), func(i int) (runOut, error) {
+		gs, perm := cells[i].gs, cells[i].perm
+		root, members := perm[0], perm[1:gs]
+
+		base, err := pool.PlanSession(root, members, core.PlanOptions{NoHelpers: true, Radius: opts.Radius})
+		if err != nil {
+			return runOut{}, err
+		}
+		hBase := base.MaxHeight(pool.TrueLatency)
+
+		measure := func(opt core.PlanOptions) (float64, *alm.Tree, error) {
+			opt.Radius = opts.Radius
+			tr, err := pool.PlanSession(root, members, opt)
+			if err != nil {
+				return 0, nil, err
+			}
+			return alm.Improvement(hBase, tr.MaxHeight(pool.TrueLatency)), tr, nil
+		}
+
+		var out runOut
+		if out.amcastAdjust, _, err = measure(core.PlanOptions{NoHelpers: true, Adjust: true}); err != nil {
+			return runOut{}, err
+		}
+		if out.critical, _, err = measure(core.PlanOptions{Mode: core.Critical}); err != nil {
+			return runOut{}, err
+		}
+		imp, critTree, err := measure(core.PlanOptions{Mode: core.Critical, Adjust: true})
+		if err != nil {
+			return runOut{}, err
+		}
+		out.criticalAdj = imp
+		out.helpers = float64(critTree.Size() - gs)
+		if out.leafset, _, err = measure(core.PlanOptions{Mode: core.Leafset}); err != nil {
+			return runOut{}, err
+		}
+		if out.leafsetAdj, _, err = measure(core.PlanOptions{Mode: core.Leafset, Adjust: true}); err != nil {
+			return runOut{}, err
+		}
+		prob := alm.Problem{Root: root, Members: members, Latency: pool.TrueLatency, Degree: pool.DegreeBound}
+		out.bound = alm.BoundImprovement(prob, hBase)
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge in sweep order, replicating the sequential accumulation.
+	res := &Fig8Result{Opts: opts}
+	i := 0
+	for _, gs := range opts.GroupSizes {
 		var row Fig8Row
 		row.GroupSize = gs
 		for run := 0; run < opts.Runs; run++ {
-			perm := r.Perm(opts.Hosts)
-			root, members := perm[0], perm[1:gs]
-
-			base, err := pool.PlanSession(root, members, core.PlanOptions{NoHelpers: true, Radius: opts.Radius})
-			if err != nil {
-				return nil, err
-			}
-			hBase := base.MaxHeight(pool.TrueLatency)
-
-			measure := func(opt core.PlanOptions) (float64, *alm.Tree, error) {
-				opt.Radius = opts.Radius
-				tr, err := pool.PlanSession(root, members, opt)
-				if err != nil {
-					return 0, nil, err
-				}
-				return alm.Improvement(hBase, tr.MaxHeight(pool.TrueLatency)), tr, nil
-			}
-
-			imp, _, err := measure(core.PlanOptions{NoHelpers: true, Adjust: true})
-			if err != nil {
-				return nil, err
-			}
-			row.AMCastAdjust += imp
-
-			imp, _, err = measure(core.PlanOptions{Mode: core.Critical})
-			if err != nil {
-				return nil, err
-			}
-			row.Critical += imp
-
-			imp, critTree, err := measure(core.PlanOptions{Mode: core.Critical, Adjust: true})
-			if err != nil {
-				return nil, err
-			}
-			row.CriticalAdj += imp
-			row.Helpers += float64(critTree.Size() - gs)
-
-			imp, _, err = measure(core.PlanOptions{Mode: core.Leafset})
-			if err != nil {
-				return nil, err
-			}
-			row.Leafset += imp
-
-			imp, _, err = measure(core.PlanOptions{Mode: core.Leafset, Adjust: true})
-			if err != nil {
-				return nil, err
-			}
-			row.LeafsetAdj += imp
-
-			prob := alm.Problem{Root: root, Members: members, Latency: pool.TrueLatency, Degree: pool.DegreeBound}
-			row.Bound += alm.BoundImprovement(prob, hBase)
+			out := outs[i]
+			i++
+			row.AMCastAdjust += out.amcastAdjust
+			row.Critical += out.critical
+			row.CriticalAdj += out.criticalAdj
+			row.Helpers += out.helpers
+			row.Leafset += out.leafset
+			row.LeafsetAdj += out.leafsetAdj
+			row.Bound += out.bound
 		}
 		n := float64(opts.Runs)
 		row.AMCastAdjust /= n

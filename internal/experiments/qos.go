@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"p2ppool/internal/core"
+	"p2ppool/internal/par"
 	"p2ppool/internal/topology"
 )
 
@@ -19,6 +20,9 @@ type QoSOptions struct {
 	GroupSize int
 	Runs      int
 	Seed      int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// output is identical for any worker count.
+	Workers int
 }
 
 func (o QoSOptions) withDefaults() QoSOptions {
@@ -58,7 +62,7 @@ func QoS(opts QoSOptions) (*QoSResult, error) {
 	top := topology.DefaultConfig()
 	top.Hosts = opts.Hosts
 	top.Seed = opts.Seed
-	pool, err := core.BuildFast(core.Options{Topology: top, Seed: opts.Seed})
+	pool, err := core.BuildFast(core.Options{Topology: top, Seed: opts.Seed, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -78,21 +82,48 @@ func QoS(opts QoSOptions) (*QoSResult, error) {
 	for i, a := range algos {
 		rows[i].Algorithm = a.name
 	}
+	// Pre-draw session memberships in run order, fan the runs out, then
+	// accumulate per-run measurements in the sequential order.
 	r := rand.New(rand.NewSource(opts.Seed + 1))
-	for run := 0; run < opts.Runs; run++ {
-		perm := r.Perm(opts.Hosts)
+	perms := make([][]int, opts.Runs)
+	for run := range perms {
+		perms[run] = r.Perm(opts.Hosts)
+	}
+	type algoOut struct {
+		maxHeight, heightStdDev, bottleneckBW float64
+		totalEdgeLat, depth, helpersUsed      float64
+	}
+	outs, err := par.MapErr(opts.Workers, opts.Runs, func(run int) ([]algoOut, error) {
+		perm := perms[run]
 		root, members := perm[0], perm[1:opts.GroupSize]
+		out := make([]algoOut, len(algos))
 		for i, a := range algos {
 			tree, err := pool.PlanSession(root, members, a.opt)
 			if err != nil {
 				return nil, err
 			}
-			rows[i].MaxHeight += tree.MaxHeight(pool.TrueLatency)
-			rows[i].HeightStdDev += math.Sqrt(tree.HeightVariance(pool.TrueLatency))
-			rows[i].BottleneckBW += tree.BottleneckBandwidth(bw)
-			rows[i].TotalEdgeLat += tree.TotalEdgeLatency(pool.TrueLatency)
-			rows[i].Depth += float64(tree.Depth())
-			rows[i].HelpersUsed += float64(tree.Size() - opts.GroupSize)
+			out[i] = algoOut{
+				maxHeight:    tree.MaxHeight(pool.TrueLatency),
+				heightStdDev: math.Sqrt(tree.HeightVariance(pool.TrueLatency)),
+				bottleneckBW: tree.BottleneckBandwidth(bw),
+				totalEdgeLat: tree.TotalEdgeLatency(pool.TrueLatency),
+				depth:        float64(tree.Depth()),
+				helpersUsed:  float64(tree.Size() - opts.GroupSize),
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range outs {
+		for i := range algos {
+			rows[i].MaxHeight += out[i].maxHeight
+			rows[i].HeightStdDev += out[i].heightStdDev
+			rows[i].BottleneckBW += out[i].bottleneckBW
+			rows[i].TotalEdgeLat += out[i].totalEdgeLat
+			rows[i].Depth += out[i].depth
+			rows[i].HelpersUsed += out[i].helpersUsed
 			rows[i].TreesMeasured++
 		}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"p2ppool/internal/dht"
 	"p2ppool/internal/eventsim"
+	"p2ppool/internal/par"
 	"p2ppool/internal/somo"
 	"p2ppool/internal/transport"
 )
@@ -25,6 +26,9 @@ type SOMOOptions struct {
 	// Runtime of each simulation.
 	Runtime eventsim.Time
 	Seed    int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// output is identical for any worker count.
+	Workers int
 }
 
 func (o SOMOOptions) withDefaults() SOMOOptions {
@@ -79,19 +83,27 @@ type SOMOResult struct {
 // depth, gather staleness and traffic, for both flow modes.
 func SOMOExperiment(opts SOMOOptions) (*SOMOResult, error) {
 	opts = opts.withDefaults()
-	res := &SOMOResult{Opts: opts}
+	// Each (size, fanout, flow) cell runs its own engine seeded by the
+	// cell, so the sweep parallelizes as-is; rows merge in sweep order.
+	type cell struct {
+		n, fanout int
+		sync      bool
+	}
+	var cells []cell
 	for _, n := range opts.Sizes {
 		for _, fanout := range opts.Fanouts {
 			for _, sync := range []bool{false, true} {
-				row, err := somoRun(n, fanout, sync, opts)
-				if err != nil {
-					return nil, err
-				}
-				res.Rows = append(res.Rows, row)
+				cells = append(cells, cell{n: n, fanout: fanout, sync: sync})
 			}
 		}
 	}
-	return res, nil
+	rows, err := par.MapErr(opts.Workers, len(cells), func(i int) (SOMORow, error) {
+		return somoRun(cells[i].n, cells[i].fanout, cells[i].sync, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SOMOResult{Opts: opts, Rows: rows}, nil
 }
 
 func somoRun(n, fanout int, sync bool, opts SOMOOptions) (SOMORow, error) {

@@ -1,0 +1,83 @@
+// Package par provides the bounded worker pools the evaluation
+// pipeline fans out on. Every helper preserves index order in its
+// results, so a parallel run is output-identical to the sequential
+// loop it replaces regardless of worker count or GOMAXPROCS — the
+// determinism contract the experiment harness is built on: draw all
+// randomness sequentially up front, execute the deterministic work in
+// parallel, merge in index order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count option: values <= 0 mean
+// runtime.NumCPU().
+func Workers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 means runtime.NumCPU()). Indices are
+// dispatched dynamically, so uneven per-index cost still load-balances.
+// With one worker it degenerates to a plain sequential loop with no
+// goroutines. fn must confine its writes to per-index slots.
+func ForEach(workers, n int, fn func(i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := int64(-1)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn for every index on at most workers goroutines and
+// returns the results in index order.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr runs fn for every index on at most workers goroutines and
+// returns the results in index order. When calls fail, the error of
+// the lowest index wins — the one a sequential loop that stops at the
+// first failure would have reported.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package par
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			hit := make([]int, n)
+			ForEach(workers, n, func(i int) { hit[i]++ })
+			for i, h := range hit {
+				if h != 1 {
+					t.Errorf("workers=%d n=%d: index %d executed %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	got := Map(8, 50, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	errAt := func(bad map[int]bool) error {
+		_, err := MapErr(4, 20, func(i int) (int, error) {
+			if bad[i] {
+				return 0, fmt.Errorf("fail %d", i)
+			}
+			return i, nil
+		})
+		return err
+	}
+	if err := errAt(map[int]bool{17: true, 3: true, 11: true}); err == nil || err.Error() != "fail 3" {
+		t.Errorf("got %v, want fail 3 (the lowest failing index)", err)
+	}
+	if err := errAt(nil); err != nil {
+		t.Errorf("got %v, want nil", err)
+	}
+}
+
+func TestMapErrAllResultsOnSuccess(t *testing.T) {
+	out, err := MapErr(3, 10, func(i int) (string, error) {
+		return fmt.Sprintf("r%d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != fmt.Sprintf("r%d", i) {
+			t.Fatalf("index %d: got %q", i, v)
+		}
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("non-positive workers should normalize to at least 1")
+	}
+	if Workers(5) != 5 {
+		t.Error("positive workers should pass through")
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+
+	"p2ppool/internal/par"
 )
 
 // Config parameterizes topology generation. The zero value is not
@@ -52,6 +54,12 @@ type Config struct {
 	// Seed drives all randomness; the same seed produces an identical
 	// network.
 	Seed int64
+
+	// Workers bounds the goroutines used for the all-pairs shortest
+	// path computation and host-pair scans; <= 0 means
+	// runtime.NumCPU(). The generated network and every latency it
+	// reports are identical for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's experimental topology: 24 transit
@@ -135,6 +143,9 @@ type Network struct {
 
 	// routerLat is the all-pairs shortest-path latency between routers.
 	routerLat [][]float64
+	// hostRow[h] aliases routerLat[hostRouter[h]] so the Latency hot
+	// path resolves host -> router-latency-row in one indexed load.
+	hostRow [][]float64
 }
 
 // Generate builds a network from cfg. It is deterministic in cfg.Seed.
@@ -211,6 +222,10 @@ func Generate(cfg Config) (*Network, error) {
 	}
 
 	n.computeAllPairs()
+	n.hostRow = make([][]float64, cfg.Hosts)
+	for h := 0; h < cfg.Hosts; h++ {
+		n.hostRow[h] = n.routerLat[n.hostRouter[h]]
+	}
 	return n, nil
 }
 
@@ -244,12 +259,15 @@ func (n *Network) addEdge(a, b int, lat float64) {
 	n.adj[b] = append(n.adj[b], edge{to: a, lat: lat})
 }
 
-// computeAllPairs runs Dijkstra from every router.
+// computeAllPairs runs one Dijkstra per router, fanned out over a
+// worker pool. Each source writes only its own routerLat row, and a
+// single-source Dijkstra is deterministic, so the result is identical
+// to the sequential computation for any worker count.
 func (n *Network) computeAllPairs() {
 	n.routerLat = make([][]float64, n.routers)
-	for src := 0; src < n.routers; src++ {
+	par.ForEach(n.cfg.Workers, n.routers, func(src int) {
 		n.routerLat[src] = n.dijkstra(src)
-	}
+	})
 }
 
 // pqItem is a priority-queue entry for Dijkstra.
@@ -331,7 +349,7 @@ func (n *Network) Latency(a, b int) float64 {
 	if a > b {
 		a, b = b, a
 	}
-	return n.lastHop[a] + n.routerLat[n.hostRouter[a]][n.hostRouter[b]] + n.lastHop[b]
+	return n.lastHop[a] + n.hostRow[a][n.hostRouter[b]] + n.lastHop[b]
 }
 
 // RTT returns the round-trip time between hosts a and b in milliseconds.
@@ -349,8 +367,11 @@ func (n *Network) LatencyFunc() func(a, b int) float64 {
 	return n.Latency
 }
 
-// MaxLatency scans all host pairs among the given hosts and returns the
-// largest pairwise latency. With a nil slice it scans every host.
+// MaxLatency scans all host pairs among the given hosts and returns
+// the largest pairwise latency. With a nil slice it scans every host.
+// The O(n²) scan fans each row out over a worker pool; taking a
+// maximum is order-independent, so the result matches the sequential
+// scan exactly.
 func (n *Network) MaxLatency(hosts []int) float64 {
 	if hosts == nil {
 		hosts = make([]int, n.NumHosts())
@@ -358,12 +379,19 @@ func (n *Network) MaxLatency(hosts []int) float64 {
 			hosts[i] = i
 		}
 	}
-	max := 0.0
-	for i, a := range hosts {
+	rowMax := par.Map(n.cfg.Workers, len(hosts), func(i int) float64 {
+		a, max := hosts[i], 0.0
 		for _, b := range hosts[i+1:] {
 			if l := n.Latency(a, b); l > max {
 				max = l
 			}
+		}
+		return max
+	})
+	max := 0.0
+	for _, m := range rowMax {
+		if m > max {
+			max = m
 		}
 	}
 	return max
