@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench ci
+.PHONY: all build test race vet bench chaos ci
 
 all: build
 
@@ -20,5 +20,10 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# Fault-injection study: a live ALM session under Poisson churn and a
+# partition window. Same seed => byte-identical output.
+chaos:
+	$(GO) run ./cmd/experiments -fig chaos -seed 1
 
 ci: build vet test race

@@ -17,7 +17,8 @@
 //
 // Figures: 4 (coordinates), 5 (bandwidth), 8 (single-session ALM),
 // 10 (multi-session market scheduling), somo (Section 3.2 aggregation
-// study), ablations (design-choice studies).
+// study), churn (SOMO mass-crash recovery), chaos (fault-injected
+// self-healing ALM session), ablations (design-choice studies).
 package main
 
 import (
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, ablations, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all")
 		seed    = flag.Int64("seed", 1, "experiment seed (same seed => identical output)")
 		runs    = flag.Int("runs", 0, "override repetition count (0 = experiment default)")
 		hosts   = flag.Int("hosts", 0, "override pool size (0 = paper default 1200)")
@@ -101,13 +102,18 @@ func main() {
 			return experiments.Churn(experiments.ChurnOptions{Nodes: *hosts, Seed: *seed, Workers: *workers})
 		})
 	}
+	if has("chaos") {
+		run("chaos study", func() (experiments.Result, error) {
+			return experiments.Chaos(experiments.ChaosOptions{Hosts: *hosts, Seed: *seed, Workers: *workers})
+		})
+	}
 	if has("ablations") {
 		run("ablations", func() (experiments.Result, error) {
 			return experiments.Ablations(experiments.AblationOptions{Hosts: *hosts, Runs: *runs, Seed: *seed, Workers: *workers})
 		})
 	}
 	if len(results) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, ablations, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, all)\n", *fig)
 		os.Exit(2)
 	}
 

@@ -1,0 +1,131 @@
+package alm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RemoveNode deletes v from the tree. Its children — the roots of the
+// now-orphaned subtrees — are detached (their parent pointers cleared)
+// and returned so the caller can reattach them, typically via Repair.
+// Removing the root or a node not in the tree is an error.
+func (t *Tree) RemoveNode(v int) ([]int, error) {
+	if v == t.Root {
+		return nil, fmt.Errorf("alm: cannot remove the root")
+	}
+	p, ok := t.parent[v]
+	if !ok {
+		return nil, fmt.Errorf("alm: node %d not in tree", v)
+	}
+	t.children[p] = removeOne(t.children[p], v)
+	delete(t.parent, v)
+	orphans := append([]int(nil), t.children[v]...)
+	delete(t.children, v)
+	for _, c := range orphans {
+		delete(t.parent, c)
+	}
+	return orphans, nil
+}
+
+// RepairResult reports what a Repair did.
+type RepairResult struct {
+	// Removed is the number of dead nodes actually deleted.
+	Removed int
+	// Reattached is the number of orphaned subtrees given new parents.
+	Reattached int
+	// AdjustMoves is the number of height-improvement moves applied
+	// after reattachment.
+	AdjustMoves int
+}
+
+// Repair removes the dead nodes from t and reattaches every orphaned
+// subtree under the surviving parent that keeps the maximum height
+// lowest, then runs Adjust to re-bound the height. Latency lat is the
+// planner's view; bound supplies degree limits.
+//
+// Repair fails if the root died (the session has no source left) or if
+// the survivors' spare degree cannot absorb an orphan; in either case
+// the caller should fall back to a full replan. On the degree-exhausted
+// error the tree is left partially repaired but structurally valid over
+// its reachable portion.
+func Repair(t *Tree, dead []int, lat LatencyFunc, bound DegreeFunc) (RepairResult, error) {
+	var res RepairResult
+	deadSet := make(map[int]bool, len(dead))
+	for _, v := range dead {
+		if v == t.Root {
+			return res, fmt.Errorf("alm: root %d died; tree cannot be repaired", v)
+		}
+		deadSet[v] = true
+	}
+
+	// Detach every dead node. A dead node may sit inside a subtree
+	// orphaned by another dead node, so detachment tolerates nodes whose
+	// parent pointer is already gone.
+	order := make([]int, 0, len(deadSet))
+	for v := range deadSet {
+		order = append(order, v)
+	}
+	sort.Ints(order)
+	var orphans []int
+	for _, v := range order {
+		if p, ok := t.parent[v]; ok {
+			t.children[p] = removeOne(t.children[p], v)
+			delete(t.parent, v)
+		} else if len(t.children[v]) == 0 {
+			continue // was not in the tree at all
+		}
+		for _, c := range t.children[v] {
+			delete(t.parent, c)
+			orphans = append(orphans, c)
+		}
+		delete(t.children, v)
+		res.Removed++
+	}
+
+	// Orphan roots that are themselves dead were handled above.
+	live := orphans[:0]
+	for _, o := range orphans {
+		if !deadSet[o] {
+			live = append(live, o)
+		}
+	}
+	// Largest subtrees first: they constrain placement the most.
+	sort.Slice(live, func(i, j int) bool {
+		si, sj := len(t.Subtree(live[i])), len(t.Subtree(live[j]))
+		if si != sj {
+			return si > sj
+		}
+		return live[i] < live[j]
+	})
+
+	for _, o := range live {
+		// Candidate parents are the nodes reachable from the root via
+		// children lists — Nodes() would also report descendants of
+		// still-detached subtrees, which must not adopt anyone yet.
+		reach := t.Subtree(t.Root)
+		sort.Ints(reach)
+		bestW, bestMax := -1, math.Inf(1)
+		for _, w := range reach {
+			if bound != nil && t.Degree(w) >= bound(w) {
+				continue
+			}
+			t.parent[o] = w
+			t.children[w] = append(t.children[w], o)
+			if m := t.MaxHeight(lat); m < bestMax {
+				bestMax, bestW = m, w
+			}
+			t.children[w] = removeOne(t.children[w], o)
+			delete(t.parent, o)
+		}
+		if bestW == -1 {
+			return res, fmt.Errorf("alm: no spare degree to reattach subtree at %d", o)
+		}
+		t.parent[o] = bestW
+		t.children[bestW] = append(t.children[bestW], o)
+		res.Reattached++
+	}
+
+	res.AdjustMoves = Adjust(t, lat, bound)
+	return res, nil
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"p2ppool/internal/eventsim"
+	"p2ppool/internal/faultnet"
 	"p2ppool/internal/ids"
 	"p2ppool/internal/transport"
 )
@@ -129,6 +130,102 @@ func TestRejoinAfterLeave(t *testing.T) {
 	SortByID(all)
 	if err := CheckRing(all); err != nil {
 		t.Fatalf("ring inconsistent after rejoin: %v", err)
+	}
+}
+
+// TestAdjacentPairCrash: two leafset neighbors adjacent in ID order
+// crash in the same tick; the ring must re-close around the double gap.
+func TestAdjacentPairCrash(t *testing.T) {
+	e, net := testNet(41)
+	cfg := Config{
+		LeafsetRadius:     8,
+		HeartbeatInterval: eventsim.Second,
+		FailureTimeout:    3 * eventsim.Second,
+	}
+	nodes := buildTestRing(t, net, 24, cfg, 42)
+	e.RunUntil(5 * eventsim.Second)
+
+	byID := append([]*Node{}, nodes...)
+	SortByID(byID)
+	// Crash ring-adjacent nodes 10 and 11 in the same virtual tick: no
+	// events run between the two stops, so neither sees the other die.
+	for _, nd := range byID[10:12] {
+		nd.Stop()
+		net.SetDown(nd.Self().Addr, true)
+	}
+	e.RunUntil(e.Now() + 30*eventsim.Second)
+
+	survivors := append(append([]*Node{}, byID[:10]...), byID[12:]...)
+	if err := CheckRing(survivors); err != nil {
+		t.Fatalf("ring inconsistent after adjacent pair crash: %v", err)
+	}
+	// The double gap must be absorbed: zones of survivors tile the ring.
+	r := rand.New(rand.NewSource(43))
+	for probe := 0; probe < 200; probe++ {
+		k := ids.Random(r)
+		owners := 0
+		for _, nd := range survivors {
+			if nd.Zone().Contains(k) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Fatalf("key %v owned by %d survivors", k, owners)
+		}
+	}
+}
+
+// TestPartitionHeal: a bidirectional partition splits the ring into two
+// halves that each declare the other dead and re-close; after the
+// partition heals, suspect re-probing must re-merge them into one ring.
+func TestPartitionHeal(t *testing.T) {
+	e, sim := testNet(44)
+	f := faultnet.New(sim, faultnet.Options{Seed: 45})
+	cfg := Config{
+		LeafsetRadius:     8,
+		HeartbeatInterval: eventsim.Second,
+		FailureTimeout:    3 * eventsim.Second,
+	}
+	nodes := buildTestRing(t, f, 16, cfg, 46)
+	e.RunUntil(5 * eventsim.Second)
+
+	byID := append([]*Node{}, nodes...)
+	SortByID(byID)
+	addrsOf := func(nds []*Node) []transport.Addr {
+		out := make([]transport.Addr, len(nds))
+		for i, nd := range nds {
+			out[i] = nd.Self().Addr
+		}
+		return out
+	}
+	// Split into two contiguous arcs so each half can re-close alone.
+	f.Partition(addrsOf(byID[:8]), addrsOf(byID[8:]))
+	// Long enough for each side to declare the other dead, re-close, and
+	// for the tombstones to expire (failure + 2*FailureTimeout).
+	e.RunUntil(e.Now() + 25*eventsim.Second)
+
+	if err := CheckRing(byID[:8]); err != nil {
+		t.Fatalf("left half did not re-close under partition: %v", err)
+	}
+	if err := CheckRing(byID[8:]); err != nil {
+		t.Fatalf("right half did not re-close under partition: %v", err)
+	}
+	if f.Counters().PartitionDrops == 0 {
+		t.Fatal("partition dropped nothing; test is vacuous")
+	}
+
+	f.Heal()
+	e.RunUntil(e.Now() + 60*eventsim.Second)
+
+	if err := CheckRing(byID); err != nil {
+		t.Fatalf("ring did not re-merge after heal: %v", err)
+	}
+	var probes uint64
+	for _, nd := range byID {
+		probes += nd.Stats().SuspectProbes
+	}
+	if probes == 0 {
+		t.Fatal("no suspect probes were sent; re-merge was accidental")
 	}
 }
 

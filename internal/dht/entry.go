@@ -61,6 +61,14 @@ type Config struct {
 	Fingers int
 	// FixFingersInterval is the period of finger refresh.
 	FixFingersInterval eventsim.Time
+	// SuspectTTL is how long a node keeps re-probing a failed leafset
+	// neighbor. A declared failure may really be a network partition
+	// (or a crash followed by a restart), and without re-probing two
+	// healed halves never rediscover each other: each side only
+	// gossips its own survivors. One probe answered re-merges the
+	// ring. 0 means the default (30 * FailureTimeout); negative
+	// disables suspect probing.
+	SuspectTTL eventsim.Time
 }
 
 // DefaultConfig returns the configuration used across the experiments.
@@ -73,6 +81,7 @@ func DefaultConfig() Config {
 		MaxHops:            128,
 		Fingers:            24,
 		FixFingersInterval: 10 * eventsim.Second,
+		SuspectTTL:         30 * 4 * eventsim.Second, // 30 * FailureTimeout
 	}
 }
 
@@ -100,6 +109,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FixFingersInterval <= 0 {
 		c.FixFingersInterval = d.FixFingersInterval
+	}
+	if c.SuspectTTL == 0 {
+		c.SuspectTTL = 30 * c.FailureTimeout
+	} else if c.SuspectTTL < 0 {
+		c.SuspectTTL = 0
 	}
 	return c
 }

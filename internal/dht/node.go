@@ -22,6 +22,14 @@ type Stats struct {
 	Failures       uint64 // neighbors declared dead
 	Routed         uint64 // routed messages forwarded or delivered
 	Delivered      uint64 // routed messages delivered locally
+	SuspectProbes  uint64 // re-probes of failed neighbors (partition healing)
+}
+
+// suspect is a failed leafset neighbor the node keeps re-probing in
+// case the failure was really a partition or a crash-restart.
+type suspect struct {
+	entry Entry
+	since eventsim.Time
 }
 
 // Node is one DHT participant. All methods must be called from the
@@ -55,6 +63,13 @@ type Node struct {
 	fingerProbe map[ids.ID]eventsim.Time
 	probeCursor int
 
+	// suspects are declared-dead leafset neighbors still worth one
+	// cheap probe per heartbeat tick: if the "failure" was a partition
+	// that since healed (or the peer restarted at the same address),
+	// one answered probe re-merges the two sides of the ring.
+	suspects      map[ids.ID]suspect
+	suspectCursor int
+
 	gossips       []Gossip
 	routeHandlers []RouteHandler
 	appHandlers   []AppHandler
@@ -79,6 +94,7 @@ func NewNode(net transport.Network, id ids.ID, addr transport.Addr, cfg Config) 
 		tombstones:  make(map[ids.ID]eventsim.Time),
 		lastContact: make(map[ids.ID]eventsim.Time),
 		fingerProbe: make(map[ids.ID]eventsim.Time),
+		suspects:    make(map[ids.ID]suspect),
 	}
 	n.fingers = make([]Entry, n.cfg.Fingers)
 	for i := range n.fingers {
@@ -280,6 +296,7 @@ func (n *Node) touch(e Entry) {
 		return
 	}
 	delete(n.tombstones, e.ID)
+	delete(n.suspects, e.ID)
 	n.lastContact[e.ID] = n.net.Now()
 	if nb, ok := n.neighbors[e.ID]; ok {
 		nb.lastHeard = n.net.Now()
@@ -307,6 +324,7 @@ func (n *Node) merge(entries ...Entry) {
 		}
 		if _, ok := n.neighbors[e.ID]; !ok {
 			n.neighbors[e.ID] = &neighbor{entry: e, lastHeard: now}
+			delete(n.suspects, e.ID)
 			changed = true
 		}
 	}
@@ -319,6 +337,8 @@ func (n *Node) merge(entries ...Entry) {
 // finger table.
 func (n *Node) bury(id ids.ID) {
 	n.tombstones[id] = n.net.Now() + 2*n.cfg.FailureTimeout
+	// A deliberate departure is not a suspected partition.
+	delete(n.suspects, id)
 	n.purgeFinger(id)
 	if _, ok := n.neighbors[id]; !ok {
 		return
@@ -415,7 +435,37 @@ func (n *Node) heartbeatTick() {
 		n.stats.HeartbeatsSent++
 	}
 	n.probeOneFinger(hb)
+	n.probeOneSuspect()
 	n.cancelHB = n.net.After(n.cfg.HeartbeatInterval, n.heartbeatTick)
+}
+
+// probeOneSuspect re-probes one declared-dead leafset neighbor per tick
+// (round-robin). A node on the far side of a partition looks exactly
+// like a crashed node; once the partition heals, one answered probe
+// triggers touch/merge on both sides — direct messages clear tombstones
+// — and the two halves of the ring re-merge. Suspects expire after
+// SuspectTTL so genuinely dead nodes stop costing probes.
+func (n *Node) probeOneSuspect() {
+	if n.cfg.SuspectTTL <= 0 || len(n.suspects) == 0 {
+		return
+	}
+	now := n.net.Now()
+	alive := make([]ids.ID, 0, len(n.suspects))
+	for id, s := range n.suspects {
+		if now-s.since > n.cfg.SuspectTTL {
+			delete(n.suspects, id)
+			continue
+		}
+		alive = append(alive, id)
+	}
+	if len(alive) == 0 {
+		return
+	}
+	sort.Slice(alive, func(i, j int) bool { return alive[i] < alive[j] })
+	n.suspectCursor = (n.suspectCursor + 1) % len(alive)
+	target := n.suspects[alive[n.suspectCursor]]
+	n.send(target.entry, 64, leafsetRequest{From: n.self})
+	n.stats.SuspectProbes++
 }
 
 // probeOneFinger sends a liveness heartbeat to one finger per tick
@@ -543,6 +593,8 @@ func (n *Node) checkFailures() {
 	sort.Slice(dead, func(i, j int) bool { return dead[i] < dead[j] })
 	for _, id := range dead {
 		n.tombstones[id] = now + 2*n.cfg.FailureTimeout
+		// Keep re-probing: the "failure" may really be a partition.
+		n.suspects[id] = suspect{entry: n.neighbors[id].entry, since: now}
 		n.purgeFinger(id)
 		delete(n.neighbors, id)
 		n.stats.Failures++

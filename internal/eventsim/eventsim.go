@@ -29,32 +29,57 @@ const Second Time = 1000
 const Minute Time = 60 * Second
 
 // Timer is a handle to a scheduled event; it can be stopped before it
-// fires.
+// fires and rescheduled with Reset, so retry/backoff loops reuse one
+// timer instead of leaking a stopped one per attempt.
 type Timer struct {
-	fn      func()
-	stopped bool
-	fired   bool
+	engine *Engine
+	fn     func()
+	// gen is bumped by Stop and Reset; queued events carry the gen they
+	// were scheduled with, so a stale event is skipped at pop time.
+	gen     uint64
+	pending bool // an event with the current gen is queued
+	fired   bool // the most recent scheduling has run
 }
 
 // Stop cancels the timer if it has not fired yet. It reports whether
 // the call prevented the event from firing.
 func (t *Timer) Stop() bool {
-	if t.fired || t.stopped {
+	if !t.pending {
 		return false
 	}
-	t.stopped = true
-	t.fn = nil
+	t.pending = false
+	t.gen++ // orphan the queued event
 	return true
 }
 
-// Fired reports whether the timer's event has already run.
+// Reset schedules the timer's callback to run after d (>= 0) of virtual
+// time, regardless of whether the timer is pending, stopped, or has
+// already fired; a pending event is cancelled first. It reports whether
+// the reset cancelled a pending event.
+func (t *Timer) Reset(d Time) bool {
+	if d < 0 {
+		panic(fmt.Sprintf("eventsim: negative delay %v", d))
+	}
+	was := t.pending
+	t.gen++
+	t.pending = true
+	t.fired = false
+	t.engine.push(t, t.engine.now+d)
+	return was
+}
+
+// Fired reports whether the timer's most recent scheduling has run.
 func (t *Timer) Fired() bool { return t.fired }
 
 type event struct {
 	at    Time
 	seq   uint64 // tiebreaker: FIFO among same-time events
 	timer *Timer
+	gen   uint64 // the timer generation this event belongs to
 }
+
+// stale reports whether the event was orphaned by a Stop or Reset.
+func (ev event) stale() bool { return ev.gen != ev.timer.gen }
 
 type eventHeap []event
 
@@ -118,26 +143,31 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("eventsim: scheduling at %v before now %v", t, e.now))
 	}
-	tm := &Timer{fn: fn}
-	e.seq++
-	heap.Push(&e.queue, event{at: t, seq: e.seq, timer: tm})
+	tm := &Timer{engine: e, fn: fn, pending: true}
+	e.push(tm, t)
 	return tm
 }
 
+// push enqueues an event for tm's current generation at absolute time at.
+func (e *Engine) push(tm *Timer, at Time) {
+	e.seq++
+	heap.Push(&e.queue, event{at: at, seq: e.seq, timer: tm, gen: tm.gen})
+}
+
 // Step executes the single earliest pending event. It reports false if
-// the queue is empty. Stopped timers are skipped (and drained).
+// the queue is empty. Events orphaned by Stop or Reset are skipped (and
+// drained).
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(event)
-		if ev.timer.stopped {
+		if ev.stale() {
 			continue
 		}
 		e.now = ev.at
 		ev.timer.fired = true
-		fn := ev.timer.fn
-		ev.timer.fn = nil
+		ev.timer.pending = false
 		e.processed++
-		fn()
+		ev.timer.fn()
 		return true
 	}
 	return false
@@ -169,7 +199,7 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 		// Peek at the earliest runnable event.
 		idx := -1
 		for len(e.queue) > 0 {
-			if e.queue[0].timer.stopped {
+			if e.queue[0].stale() {
 				heap.Pop(&e.queue)
 				continue
 			}

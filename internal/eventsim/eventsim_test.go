@@ -84,6 +84,102 @@ func TestStopAfterFire(t *testing.T) {
 	}
 }
 
+func TestTimerResetWhilePending(t *testing.T) {
+	e := New(1)
+	var at []Time
+	tm := e.Schedule(10, func() { at = append(at, e.Now()) })
+	if !tm.Reset(25) {
+		t.Error("Reset of a pending timer should report true")
+	}
+	e.Run(0)
+	if len(at) != 1 || at[0] != 25 {
+		t.Fatalf("fired at %v, want exactly once at 25", at)
+	}
+}
+
+func TestTimerResetAfterStop(t *testing.T) {
+	e := New(1)
+	fired := 0
+	tm := e.Schedule(10, func() { fired++ })
+	if !tm.Stop() {
+		t.Fatal("Stop should succeed")
+	}
+	if tm.Reset(5) {
+		t.Error("Reset of a stopped timer should report false")
+	}
+	e.Run(0)
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1 (the reset schedule only)", fired)
+	}
+	if e.Now() != 5 {
+		t.Errorf("fired at %v, want 5", e.Now())
+	}
+}
+
+func TestTimerResetAfterFire(t *testing.T) {
+	e := New(1)
+	fired := 0
+	tm := e.Schedule(10, func() { fired++ })
+	e.Run(0)
+	if fired != 1 || !tm.Fired() {
+		t.Fatal("timer should have fired once")
+	}
+	if tm.Reset(7) {
+		t.Error("Reset of a fired timer should report false")
+	}
+	if tm.Fired() {
+		t.Error("Fired should be false again after Reset")
+	}
+	e.Run(0)
+	if fired != 2 {
+		t.Fatalf("fired %d times, want 2", fired)
+	}
+	if e.Now() != 17 {
+		t.Errorf("second firing at %v, want 17", e.Now())
+	}
+	// A reused timer can still be stopped.
+	tm.Reset(3)
+	if !tm.Stop() {
+		t.Error("Stop after Reset should succeed")
+	}
+	e.Run(0)
+	if fired != 2 {
+		t.Error("stopped reset fired anyway")
+	}
+}
+
+func TestTimerResetFromOwnCallback(t *testing.T) {
+	// A periodic loop implemented by resetting the timer from inside
+	// its own callback — the retry/backoff pattern Reset exists for.
+	e := New(1)
+	var tm *Timer
+	fired := 0
+	tm = e.Schedule(1, func() {
+		fired++
+		if fired < 5 {
+			tm.Reset(2)
+		}
+	})
+	e.Run(0)
+	if fired != 5 {
+		t.Fatalf("fired %d times, want 5", fired)
+	}
+	if e.Now() != 9 {
+		t.Errorf("final time %v, want 9 (1 + 4*2)", e.Now())
+	}
+}
+
+func TestTimerResetNegativePanics(t *testing.T) {
+	e := New(1)
+	tm := e.Schedule(10, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Reset should panic")
+		}
+	}()
+	tm.Reset(-1)
+}
+
 func TestNegativeDelayPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

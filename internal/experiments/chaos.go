@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"p2ppool/internal/alm"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/faultnet"
+	"p2ppool/internal/par"
+	"p2ppool/internal/sched"
+	"p2ppool/internal/topology"
+	"p2ppool/internal/transport"
+)
+
+// ChaosOptions parameterizes the self-healing ALM study: a live
+// multicast session forwarding packets over its planned tree on the
+// simulated network while a fault-injection layer applies continuous
+// Poisson churn and a partition window.
+type ChaosOptions struct {
+	// Hosts is the pool size.
+	Hosts int
+	// GroupSize is the session size including the root.
+	GroupSize int
+	// Rates are the churn intensities swept, in crashes per virtual
+	// minute; rate 0 is the fault-free baseline and must reproduce the
+	// plain scheduler plan exactly.
+	Rates []float64
+	// Window is the observation window.
+	Window eventsim.Time
+	// PacketInterval is the multicast send period.
+	PacketInterval eventsim.Time
+	// DetectDelay models heartbeat-based failure detection: the time
+	// from a crash until the task manager replans around it.
+	DetectDelay eventsim.Time
+	// RestartDelay is how long a crashed host stays down.
+	RestartDelay eventsim.Time
+	// PartitionAt / PartitionFor place the partition window (applied
+	// only to rows with rate > 0).
+	PartitionAt  eventsim.Time
+	PartitionFor eventsim.Time
+	Seed         int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// output is identical for any worker count.
+	Workers int
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Hosts <= 0 {
+		o.Hosts = 96
+	}
+	if o.GroupSize <= 0 {
+		o.GroupSize = 16
+	}
+	if len(o.Rates) == 0 {
+		o.Rates = []float64{0, 1, 3}
+	}
+	if o.Window <= 0 {
+		o.Window = 5 * eventsim.Minute
+	}
+	if o.PacketInterval <= 0 {
+		o.PacketInterval = 500 * eventsim.Millisecond
+	}
+	if o.DetectDelay <= 0 {
+		o.DetectDelay = 4 * eventsim.Second
+	}
+	if o.RestartDelay <= 0 {
+		o.RestartDelay = 30 * eventsim.Second
+	}
+	if o.PartitionAt <= 0 {
+		o.PartitionAt = 2 * eventsim.Minute
+	}
+	if o.PartitionFor <= 0 {
+		o.PartitionFor = 30 * eventsim.Second
+	}
+	return o
+}
+
+// ChaosRow is the outcome of one churn-rate run.
+type ChaosRow struct {
+	Rate        float64
+	Crashes     int // node crashes injected
+	TreeCrashes int // crashes that hit a node of the session tree
+	Repairs     int // tree repairs completed
+	Replans     int // session replans (failures + member rejoins)
+	Sent        int // packets multicast by the root
+	Expected    int // member deliveries expected (live members at send)
+	Delivered   int // member deliveries observed
+	// MeanRepairSeconds is the average crash-to-repaired time for tree
+	// crashes (detection delay included).
+	MeanRepairSeconds float64
+	// BaselineHeight / PeakHeight bound the tree-height inflation churn
+	// caused (true-latency max root-to-leaf, ms).
+	BaselineHeight float64
+	PeakHeight     float64
+	// Drops is the total messages eaten by injected faults.
+	Drops uint64
+}
+
+// DeliveryRatio is delivered over expected member deliveries.
+func (r ChaosRow) DeliveryRatio() float64 {
+	if r.Expected == 0 {
+		return 1
+	}
+	return float64(r.Delivered) / float64(r.Expected)
+}
+
+// ChaosResult is the fault-injection study.
+type ChaosResult struct {
+	Opts ChaosOptions
+	Rows []ChaosRow
+}
+
+// chaosWorld builds the static world shared by every row of a sweep:
+// the topology, the degree bounds, and the session roster. Only the
+// fault schedule differs between rows, so the rate-0 row must plan
+// exactly like a scheduler used outside the chaos harness on this same
+// world — the baseline test rebuilds it through this function.
+func chaosWorld(opts ChaosOptions) (*topology.Network, []int, *sched.Session, error) {
+	top := topology.DefaultConfig()
+	top.Hosts = opts.Hosts
+	top.Seed = opts.Seed
+	top.Workers = 1
+	net, err := topology.Generate(top)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	r := rand.New(rand.NewSource(opts.Seed + 2))
+	degrees := alm.PaperDegrees(opts.Hosts, r)
+	perm := r.Perm(opts.Hosts)
+	s := &sched.Session{
+		ID:       1,
+		Priority: 1,
+		Root:     perm[0],
+		Members:  append([]int(nil), perm[1:opts.GroupSize]...),
+	}
+	return net, degrees, s, nil
+}
+
+// Chaos runs the fault-injection study: one live multicast session per
+// churn rate, with crashes, restarts and a partition window scripted on
+// the virtual clock, measuring delivery ratio, repair latency and
+// tree-height inflation.
+func Chaos(opts ChaosOptions) (*ChaosResult, error) {
+	opts = opts.withDefaults()
+	rows, err := par.MapErr(opts.Workers, len(opts.Rates), func(i int) (ChaosRow, error) {
+		return chaosRun(i, opts.Rates[i], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ChaosResult{Opts: opts, Rows: rows}, nil
+}
+
+// chaosPacket is one multicast payload.
+type chaosPacket struct{ Seq int }
+
+func chaosRun(idx int, rate float64, opts ChaosOptions) (ChaosRow, error) {
+	net, degrees, sess, err := chaosWorld(opts)
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	engine := eventsim.New(opts.Seed + int64(idx))
+	sim := transport.NewSim(engine, transport.SimOptions{Latency: net.Latency})
+	f := faultnet.New(sim, faultnet.Options{Seed: opts.Seed*100 + int64(idx)})
+	sc := sched.NewScheduler(degrees, net.Latency, sched.Config{})
+	if err := sc.AddSession(sess); err != nil {
+		return ChaosRow{}, err
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		return ChaosRow{}, err
+	}
+
+	row := ChaosRow{Rate: rate}
+	row.BaselineHeight = sess.Tree.MaxHeight(net.Latency)
+	row.PeakHeight = row.BaselineHeight
+	bound := func(v int) int { return degrees[v] }
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	isMember := func(h int) bool {
+		for _, m := range sess.Members {
+			if m == h {
+				return true
+			}
+		}
+		return false
+	}
+	noteHeight := func() {
+		if sess.Tree == nil {
+			return
+		}
+		if h := sess.Tree.MaxHeight(net.Latency); h > row.PeakHeight {
+			row.PeakHeight = h
+		}
+	}
+
+	// --- data plane: forward packets along the current tree ---
+	seen := make(map[int]bool) // seq*Hosts+host, dedup across replans
+	for h := 0; h < opts.Hosts; h++ {
+		h := h
+		f.Attach(transport.Addr(h), func(from transport.Addr, msg transport.Message) {
+			pkt, ok := msg.(chaosPacket)
+			if !ok || sess.Tree == nil || !sess.Tree.Contains(h) {
+				return
+			}
+			if isMember(h) {
+				if key := pkt.Seq*opts.Hosts + h; !seen[key] {
+					seen[key] = true
+					row.Delivered++
+				}
+			}
+			for _, c := range sess.Tree.Children(h) {
+				f.Send(transport.Addr(h), transport.Addr(c), 1200, pkt)
+			}
+		})
+	}
+	var pump func()
+	pump = func() {
+		if f.Now() >= opts.Window {
+			return
+		}
+		if sess.Tree != nil {
+			row.Sent++
+			for _, m := range sess.Members {
+				if !f.Crashed(transport.Addr(m)) {
+					row.Expected++
+				}
+			}
+			pkt := chaosPacket{Seq: row.Sent}
+			for _, c := range sess.Tree.Children(sess.Root) {
+				f.Send(transport.Addr(sess.Root), transport.Addr(c), 1200, pkt)
+			}
+		}
+		f.After(opts.PacketInterval, pump)
+	}
+	f.After(0, pump)
+
+	// --- control plane: detection, repair, member rejoin ---
+	stripped := make(map[int]bool)
+	var repairTotal eventsim.Time
+	f.OnCrash(func(a transport.Addr) {
+		host := int(a)
+		crashAt := f.Now()
+		inTree := sess.Tree != nil && sess.Tree.Contains(host)
+		if inTree {
+			row.TreeCrashes++
+		}
+		f.After(opts.DetectDelay, func() {
+			if !f.Crashed(a) {
+				return // restarted before detection; nothing to repair
+			}
+			wasMember := isMember(host)
+			sc.NodeFailed(host)
+			if _, err := sc.Stabilize(); err != nil {
+				fail(err)
+				return
+			}
+			if wasMember {
+				stripped[host] = true
+			}
+			// Every repair must leave a whole, degree-respecting tree
+			// that excludes the dead node.
+			switch {
+			case sess.Tree == nil:
+				fail(fmt.Errorf("chaos: no tree after repairing crash of %d", host))
+			case sess.Tree.Contains(host):
+				fail(fmt.Errorf("chaos: dead host %d still in tree", host))
+			default:
+				if err := sess.Tree.Validate(bound); err != nil {
+					fail(fmt.Errorf("chaos: tree invalid after repair: %w", err))
+				}
+				for _, m := range sess.Members {
+					if !sess.Tree.Contains(m) {
+						fail(fmt.Errorf("chaos: member %d missing after repair", m))
+					}
+				}
+			}
+			if inTree {
+				row.Repairs++
+				repairTotal += f.Now() - crashAt
+			}
+			noteHeight()
+		})
+	})
+	f.OnRestart(func(a transport.Addr) {
+		host := int(a)
+		sc.NodeRecovered(host)
+		if !stripped[host] {
+			return
+		}
+		delete(stripped, host)
+		if err := sc.AddMember(sess.ID, host); err != nil {
+			fail(err)
+			return
+		}
+		if _, err := sc.Stabilize(); err != nil {
+			fail(err)
+			return
+		}
+		noteHeight()
+	})
+
+	// --- fault schedule: Poisson crashes plus one partition window ---
+	if rate > 0 {
+		frng := rand.New(rand.NewSource(opts.Seed*1000 + int64(idx) + 7))
+		targets := make([]int, 0, opts.Hosts-1)
+		for h := 0; h < opts.Hosts; h++ {
+			if h != sess.Root {
+				targets = append(targets, h)
+			}
+		}
+		for at := eventsim.Time(0); ; {
+			gap := frng.ExpFloat64() / rate * float64(eventsim.Minute)
+			at += eventsim.Time(gap)
+			if at >= opts.Window {
+				break
+			}
+			victim := transport.Addr(targets[frng.Intn(len(targets))])
+			f.CrashAt(at, victim)
+			f.RestartAt(at+opts.RestartDelay, victim)
+		}
+		half := make([]transport.Addr, opts.Hosts)
+		for h := range half {
+			half[h] = transport.Addr(h)
+		}
+		f.Install([]faultnet.Step{
+			{At: opts.PartitionAt, Do: func(fn *faultnet.Net) {
+				fn.Partition(half[:opts.Hosts/2], half[opts.Hosts/2:])
+			}},
+			{At: opts.PartitionAt + opts.PartitionFor, Do: func(fn *faultnet.Net) { fn.Heal() }},
+		})
+	}
+
+	// Run the window plus a drain period for in-flight packets.
+	engine.RunUntil(opts.Window + 5*eventsim.Second)
+	if firstErr != nil {
+		return ChaosRow{}, firstErr
+	}
+
+	ctr := f.Counters()
+	row.Crashes = int(ctr.Crashes)
+	row.Replans = sess.Replans
+	row.Drops = ctr.LinkDrops + ctr.NodeDrops + ctr.PartitionDrops + ctr.CrashDrops
+	if row.Repairs > 0 {
+		row.MeanRepairSeconds = float64(repairTotal) / float64(row.Repairs) / 1000
+	}
+	return row, nil
+}
+
+// Tables renders the fault-injection study.
+func (r *ChaosResult) Tables() []Table {
+	t := Table{
+		Title: "Chaos: self-healing ALM session under churn and partition",
+		Columns: []string{
+			"rate/min", "crashes", "tree hits", "repairs", "replans",
+			"delivery", "repair (s)", "height (ms)", "peak (ms)", "drops",
+		},
+		Note: "delivery = member deliveries / expected; rate 0 is the fault-free baseline " +
+			"(ratio 1, height = plain scheduler plan); repair latency is dominated by the " +
+			"detection delay; a 30 s partition window splits the pool in half mid-run",
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			f1(row.Rate), d(row.Crashes), d(row.TreeCrashes), d(row.Repairs), d(row.Replans),
+			f3(row.DeliveryRatio()), f1(row.MeanRepairSeconds),
+			f1(row.BaselineHeight), f1(row.PeakHeight), d(int(row.Drops)),
+		})
+	}
+	return []Table{t}
+}

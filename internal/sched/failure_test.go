@@ -1,0 +1,192 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRegistryDeadHost(t *testing.T) {
+	r := NewRegistry([]int{4, 4})
+	if _, err := r.Reserve(0, 2, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	r.SetDead(0)
+	if !r.Dead(0) || r.Dead(1) {
+		t.Error("dead flags wrong")
+	}
+	if got := r.AvailableFor(0, 1); got != 0 {
+		t.Errorf("dead host available = %d, want 0", got)
+	}
+	if r.HeldBy(10) != 0 {
+		t.Error("dead host kept allocations")
+	}
+	if _, err := r.Reserve(0, 1, 1, 11); err == nil {
+		t.Error("reserve on dead host should fail")
+	}
+	r.SetDead(0) // idempotent
+	r.Revive(0)
+	if got := r.AvailableFor(0, 1); got != 4 {
+		t.Errorf("revived host available = %d, want 4", got)
+	}
+	if err := r.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// planAndCheck stabilizes and asserts registry sanity.
+func planAndCheck(t *testing.T, sc *Scheduler) {
+	t.Helper()
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Registry().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkSession asserts the session's tree covers root + members and
+// avoids every dead host.
+func checkSession(t *testing.T, sc *Scheduler, s *Session, dead ...int) {
+	t.Helper()
+	if s.Tree == nil {
+		t.Fatal("session has no tree")
+	}
+	if err := s.Tree.Validate(nil); err != nil {
+		t.Fatalf("tree invalid: %v", err)
+	}
+	for _, m := range s.Members {
+		if !s.Tree.Contains(m) {
+			t.Fatalf("member %d missing from tree", m)
+		}
+	}
+	for _, d := range dead {
+		if s.Tree.Contains(d) {
+			t.Fatalf("dead host %d still in tree", d)
+		}
+		for _, v := range s.Tree.Nodes() {
+			if dd := s.Tree.Degree(v); dd > 0 && sc.Registry().Dead(v) {
+				t.Fatalf("tree uses dead host %d", v)
+			}
+		}
+	}
+}
+
+func TestNodeFailedHelperRepairsInPlace(t *testing.T) {
+	net, degrees := buildWorld(t, 200, 11)
+	sc := NewScheduler(degrees, net.Latency, Config{})
+	r := rand.New(rand.NewSource(12))
+	s := makeSessions(1, 20, 200, r)[0]
+	s.Priority = 1
+	if err := sc.AddSession(s); err != nil {
+		t.Fatal(err)
+	}
+	planAndCheck(t, sc)
+
+	members := s.memberSet()
+	helper := -1
+	for _, v := range s.Tree.Nodes() {
+		if !members[v] {
+			helper = v
+			break
+		}
+	}
+	if helper == -1 {
+		t.Skip("plan recruited no helpers; nothing to kill")
+	}
+	affected := sc.NodeFailed(helper)
+	if len(affected) != 1 || affected[0] != s.ID {
+		t.Fatalf("affected = %v, want [%d]", affected, s.ID)
+	}
+	if s.Replans != 1 {
+		t.Errorf("Replans = %d, want 1", s.Replans)
+	}
+	planAndCheck(t, sc) // flush any fallback replan
+	checkSession(t, sc, s, helper)
+	if held := sc.Registry().HeldBy(s.ID); held == 0 {
+		t.Error("no reservations after repair")
+	}
+}
+
+func TestNodeFailedMemberIsStripped(t *testing.T) {
+	net, degrees := buildWorld(t, 200, 13)
+	sc := NewScheduler(degrees, net.Latency, Config{})
+	r := rand.New(rand.NewSource(14))
+	s := makeSessions(1, 16, 200, r)[0]
+	if err := sc.AddSession(s); err != nil {
+		t.Fatal(err)
+	}
+	planAndCheck(t, sc)
+
+	victim := s.Members[len(s.Members)/2]
+	before := len(s.Members)
+	sc.NodeFailed(victim)
+	if len(s.Members) != before-1 {
+		t.Fatalf("member not stripped: %d members", len(s.Members))
+	}
+	for _, m := range s.Members {
+		if m == victim {
+			t.Fatal("dead member still listed")
+		}
+	}
+	planAndCheck(t, sc)
+	checkSession(t, sc, s, victim)
+	if s.Replans < 1 {
+		t.Errorf("Replans = %d, want >= 1", s.Replans)
+	}
+}
+
+func TestNodeFailedRootRemovesSession(t *testing.T) {
+	net, degrees := buildWorld(t, 100, 15)
+	sc := NewScheduler(degrees, net.Latency, Config{})
+	r := rand.New(rand.NewSource(16))
+	ss := makeSessions(2, 10, 100, r)
+	for _, s := range ss {
+		if err := sc.AddSession(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	planAndCheck(t, sc)
+
+	sc.NodeFailed(ss[0].Root)
+	if len(sc.Sessions()) != 1 || sc.Sessions()[0].ID != ss[1].ID {
+		t.Fatalf("sessions after root death = %v", sc.Sessions())
+	}
+	if held := sc.Registry().HeldBy(ss[0].ID); held != 0 {
+		t.Errorf("dead session still holds %d slots", held)
+	}
+	planAndCheck(t, sc)
+	if err := sc.Registry().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeRecoveredRejoinsMarket(t *testing.T) {
+	net, degrees := buildWorld(t, 100, 17)
+	sc := NewScheduler(degrees, net.Latency, Config{})
+	r := rand.New(rand.NewSource(18))
+	s := makeSessions(1, 10, 100, r)[0]
+	if err := sc.AddSession(s); err != nil {
+		t.Fatal(err)
+	}
+	planAndCheck(t, sc)
+
+	members := s.memberSet()
+	dead := -1
+	for h := 0; h < 100; h++ {
+		if !members[h] {
+			dead = h
+			break
+		}
+	}
+	sc.NodeFailed(dead)
+	if got := sc.Registry().AvailableFor(dead, 3); got != 0 {
+		t.Fatalf("dead host offers %d slots", got)
+	}
+	sc.NodeRecovered(dead)
+	if got := sc.Registry().AvailableFor(dead, 3); got != degrees[dead] {
+		t.Fatalf("recovered host offers %d slots, want %d", got, degrees[dead])
+	}
+	sc.Reschedule()
+	planAndCheck(t, sc)
+	checkSession(t, sc, s)
+}

@@ -78,17 +78,40 @@ func (d *DegreeTable) Allocations() []allocation {
 // managers read the root report; the registry is that database.
 type Registry struct {
 	tables []DegreeTable
+	// dead marks hosts that have failed: they offer no capacity and
+	// accept no reservations until revived.
+	dead []bool
 }
 
 // NewRegistry creates a registry for hosts 0..len(bounds)-1 with the
 // given degree bounds.
 func NewRegistry(bounds []int) *Registry {
-	r := &Registry{tables: make([]DegreeTable, len(bounds))}
+	r := &Registry{
+		tables: make([]DegreeTable, len(bounds)),
+		dead:   make([]bool, len(bounds)),
+	}
 	for i, b := range bounds {
 		r.tables[i].Bound = b
 	}
 	return r
 }
+
+// SetDead marks host h failed: its existing allocations are dropped
+// (the slots are gone with the host — holders must replan) and
+// AvailableFor reports zero until Revive. Idempotent.
+func (r *Registry) SetDead(h int) {
+	if r.dead[h] {
+		return
+	}
+	r.dead[h] = true
+	r.tables[h].allocs = nil
+}
+
+// Revive clears host h's dead mark; its table starts empty. Idempotent.
+func (r *Registry) Revive(h int) { r.dead[h] = false }
+
+// Dead reports whether host h is marked failed.
+func (r *Registry) Dead(h int) bool { return r.dead[h] }
 
 // NumHosts returns the number of hosts tracked.
 func (r *Registry) NumHosts() int { return len(r.tables) }
@@ -97,8 +120,13 @@ func (r *Registry) NumHosts() int { return len(r.tables) }
 func (r *Registry) Table(h int) *DegreeTable { return &r.tables[h] }
 
 // AvailableFor returns the slots a priority-p requester could obtain on
-// host h.
-func (r *Registry) AvailableFor(h, p int) int { return r.tables[h].AvailableFor(p) }
+// host h (zero for a dead host).
+func (r *Registry) AvailableFor(h, p int) int {
+	if r.dead[h] {
+		return 0
+	}
+	return r.tables[h].AvailableFor(p)
+}
 
 // Reserve grants sid `slots` slots on host h at priority p, preempting
 // strictly-lower-priority allocations (highest numeric priority first)
@@ -108,6 +136,9 @@ func (r *Registry) Reserve(h int, slots int, p int, sid SessionID) ([]SessionID,
 	t := &r.tables[h]
 	if slots <= 0 {
 		return nil, fmt.Errorf("sched: reserve of %d slots on host %d", slots, h)
+	}
+	if r.dead[h] {
+		return nil, fmt.Errorf("sched: host %d is dead", h)
 	}
 	if t.AvailableFor(p) < slots {
 		return nil, fmt.Errorf("sched: host %d cannot fit %d slots at priority %d (bound %d, firm %d)",

@@ -232,6 +232,109 @@ func (sc *Scheduler) Stabilize() (plans int, err error) {
 	return plans, nil
 }
 
+// NodeFailed handles the crash of a host: its registry table is
+// voided, sessions rooted there are removed (the multicast source is
+// gone), and every session that had the host as a member or in its
+// tree loses it — the tree is repaired in place where the survivors'
+// spare degree allows, otherwise the session is marked dirty for a
+// full replan at the next Stabilize. Each affected surviving session's
+// Replans counter is incremented. The affected session IDs (including
+// removed ones) are returned in priority-then-ID order.
+func (sc *Scheduler) NodeFailed(host int) []SessionID {
+	sc.reg.SetDead(host)
+	order := sc.Sessions()
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Priority != order[j].Priority {
+			return order[i].Priority < order[j].Priority
+		}
+		return order[i].ID < order[j].ID
+	})
+	var affected []SessionID
+	for _, s := range order {
+		if s.Root == host {
+			sc.RemoveSession(s.ID)
+			affected = append(affected, s.ID)
+			continue
+		}
+		touched := false
+		for i, m := range s.Members {
+			if m == host {
+				s.Members = append(s.Members[:i], s.Members[i+1:]...)
+				touched = true
+				break
+			}
+		}
+		inTree := s.Tree != nil && s.Tree.Contains(host)
+		if !touched && !inTree {
+			continue
+		}
+		affected = append(affected, s.ID)
+		s.Replans++
+		sc.reg.Release(s.ID)
+		if inTree {
+			members := s.memberSet()
+			repaired := s.Tree.Clone()
+			_, err := alm.Repair(repaired, []int{host}, sc.lat, sc.availFor(s, members))
+			if err == nil {
+				err = sc.reserveTree(s, repaired, members)
+			}
+			if err == nil {
+				s.Tree = repaired
+				continue
+			}
+			// Partial reservations from a failed reserveTree are undone
+			// by the full replan's own Release, but drop them now so
+			// sessions processed after this one see true availability.
+			sc.reg.Release(s.ID)
+		}
+		sc.dirty[s.ID] = true
+	}
+	return affected
+}
+
+// NodeRecovered marks a host usable again. Sessions do not grab it
+// eagerly; they see it at their next Reschedule/Stabilize.
+func (sc *Scheduler) NodeRecovered(host int) { sc.reg.Revive(host) }
+
+// availFor returns the effective degree bound the market offers session
+// s at each host.
+func (sc *Scheduler) availFor(s *Session, members map[int]bool) alm.DegreeFunc {
+	return func(v int) int {
+		p := s.effPriority(v, members)
+		a := sc.reg.AvailableFor(v, p)
+		if a > sc.bounds[v] {
+			a = sc.bounds[v]
+		}
+		return a
+	}
+}
+
+// reserveTree reserves tree's slots for s, dirtying (and counting a
+// replan for) every preempted session. On error the caller owns
+// cleanup of any partial reservations.
+func (sc *Scheduler) reserveTree(s *Session, tree *alm.Tree, members map[int]bool) error {
+	for _, v := range tree.Nodes() {
+		slots := tree.Degree(v)
+		if slots == 0 {
+			continue
+		}
+		victims, err := sc.reg.Reserve(v, slots, s.effPriority(v, members), s.ID)
+		if err != nil {
+			return err
+		}
+		for _, vic := range victims {
+			if vic == s.ID {
+				continue
+			}
+			if victim, ok := sc.sessions[vic]; ok {
+				victim.Replans++
+				sc.dirty[vic] = true
+			}
+		}
+	}
+	return nil
+}
+
 // planOne runs one session's task manager: release current holdings,
 // read availability from the degree tables, plan Leafset+adjust with
 // helpers, and reserve the new plan (preempting lower priority).
@@ -241,14 +344,7 @@ func (sc *Scheduler) planOne(s *Session) error {
 
 	// Effective degree bound for this session at each host: what the
 	// market says it can obtain.
-	avail := func(v int) int {
-		p := s.effPriority(v, members)
-		a := sc.reg.AvailableFor(v, p)
-		if a > sc.bounds[v] {
-			a = sc.bounds[v]
-		}
-		return a
-	}
+	avail := sc.availFor(s, members)
 
 	// Candidate helpers: everyone outside the session with enough
 	// obtainable fan-out.
@@ -280,24 +376,8 @@ func (sc *Scheduler) planOne(s *Session) error {
 	alm.Adjust(tree, sc.lat, avail)
 
 	// Reserve the plan's slots; preempted sessions must replan.
-	for _, v := range tree.Nodes() {
-		slots := tree.Degree(v)
-		if slots == 0 {
-			continue
-		}
-		victims, err := sc.reg.Reserve(v, slots, s.effPriority(v, members), s.ID)
-		if err != nil {
-			return err
-		}
-		for _, vic := range victims {
-			if vic == s.ID {
-				continue
-			}
-			if victim, ok := sc.sessions[vic]; ok {
-				victim.Replans++
-				sc.dirty[vic] = true
-			}
-		}
+	if err := sc.reserveTree(s, tree, members); err != nil {
+		return err
 	}
 	s.Tree = tree
 	return nil

@@ -200,7 +200,11 @@ func (s *Sim) After(d eventsim.Time, fn func()) CancelFunc {
 // Rand implements Network.
 func (s *Sim) Rand() *rand.Rand { return s.engine.Rand() }
 
-// Stats returns a copy of the cumulative traffic counters.
+// Stats returns a copy of the cumulative traffic counters. Like every
+// other Sim method it is single-threaded: call it only from the
+// goroutine driving the engine (the event loop), never concurrently
+// with Send or event execution. Live.Stats, in contrast, is safe for
+// concurrent use.
 func (s *Sim) Stats() Stats { return s.stats }
 
 // Engine exposes the underlying event engine (experiments drive it).
@@ -221,6 +225,7 @@ type Live struct {
 	queue    chan func()
 	done     chan struct{}
 	closed   bool
+	stats    Stats // guarded by mu
 }
 
 // NewLive creates a live network. latency may be nil (instant delivery).
@@ -244,17 +249,20 @@ func NewLive(latency LatencyFunc, seed int64) *Live {
 
 // dispatch enqueues fn onto the single dispatch goroutine, dropping it
 // if the network is closed or the queue is saturated (like a full
-// socket buffer). The enqueue happens under the mutex so Close cannot
-// close the queue between the closed-check and the send.
-func (l *Live) dispatch(fn func()) {
+// socket buffer); it reports whether fn was enqueued. The enqueue
+// happens under the mutex so Close cannot close the queue between the
+// closed-check and the send.
+func (l *Live) dispatch(fn func()) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return
+		return false
 	}
 	select {
 	case l.queue <- fn:
+		return true
 	default:
+		return false
 	}
 }
 
@@ -277,19 +285,33 @@ func (l *Live) Detach(a Addr) {
 
 // Send implements Network.
 func (l *Live) Send(from, to Addr, sizeBytes int, msg Message) {
+	l.mu.Lock()
+	l.stats.MessagesSent++
+	l.stats.BytesSent += uint64(sizeBytes)
+	l.mu.Unlock()
 	var delay time.Duration
 	if l.latency != nil {
 		delay = time.Duration(l.latency(int(from), int(to)) * float64(time.Millisecond))
 	}
 	deliver := func() {
-		l.dispatch(func() {
+		enqueued := l.dispatch(func() {
 			l.mu.Lock()
 			h, ok := l.handlers[to]
+			if ok {
+				l.stats.MessagesDelivered++
+			} else {
+				l.stats.MessagesDropped++
+			}
 			l.mu.Unlock()
 			if ok {
 				h(from, msg)
 			}
 		})
+		if !enqueued {
+			l.mu.Lock()
+			l.stats.MessagesDropped++
+			l.mu.Unlock()
+		}
 	}
 	if delay <= 0 {
 		deliver()
@@ -336,6 +358,15 @@ func (l *Live) Rand() *rand.Rand {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return rand.New(rand.NewSource(l.rng.Int63()))
+}
+
+// Stats returns a copy of the cumulative traffic counters, taken under
+// the network's lock, so it is safe to call from any goroutine while
+// sends and deliveries are in flight.
+func (l *Live) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
 }
 
 // Close detaches every endpoint and stops the dispatch goroutine.

@@ -268,6 +268,83 @@ func TestLiveDetachAndClose(t *testing.T) {
 	l.Attach(2, func(Addr, Message) {}) // after close: no-op
 }
 
+func TestLiveStatsCounts(t *testing.T) {
+	l := NewLive(nil, 1)
+	defer l.Close()
+	done := make(chan struct{}, 4)
+	l.Attach(2, func(Addr, Message) { done <- struct{}{} })
+	l.Send(1, 2, 40, "a")
+	l.Send(1, 2, 60, "b")
+	l.Send(1, 3, 10, "to nobody")
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("delivery timed out")
+		}
+	}
+	// Drain the dispatch queue so the drop of the third message has
+	// been accounted.
+	l.Run(func() {})
+	st := l.Stats()
+	if st.MessagesSent != 3 || st.BytesSent != 110 {
+		t.Errorf("sent = %d bytes = %d, want 3 / 110", st.MessagesSent, st.BytesSent)
+	}
+	if st.MessagesDelivered != 2 || st.MessagesDropped != 1 {
+		t.Errorf("delivered = %d dropped = %d, want 2 / 1", st.MessagesDelivered, st.MessagesDropped)
+	}
+}
+
+// TestLiveStatsRace hammers Send, Attach/Detach and Stats from many
+// goroutines at once; it exists to fail under -race if any counter or
+// handler-table access escapes the lock.
+func TestLiveStatsRace(t *testing.T) {
+	l := NewLive(nil, 1)
+	defer l.Close()
+	l.Attach(0, func(Addr, Message) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(3)
+		go func() { // sender
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				l.Send(Addr(g+1), Addr(i%3), 8, i)
+			}
+		}()
+		go func() { // attach/detach churn
+			defer wg.Done()
+			a := Addr(g + 1)
+			for i := 0; i < 300; i++ {
+				l.Attach(a, func(Addr, Message) {})
+				l.Detach(a)
+			}
+		}()
+		go func() { // stats reader
+			defer wg.Done()
+			var last Stats
+			for i := 0; i < 300; i++ {
+				st := l.Stats()
+				if st.MessagesSent < last.MessagesSent {
+					t.Error("MessagesSent went backwards")
+					return
+				}
+				last = st
+			}
+		}()
+	}
+	wg.Wait()
+	l.Run(func() {}) // drain in-flight deliveries
+	st := l.Stats()
+	if st.MessagesSent != 4*300 {
+		t.Errorf("sent = %d, want %d", st.MessagesSent, 4*300)
+	}
+	if st.MessagesDelivered+st.MessagesDropped != st.MessagesSent {
+		t.Errorf("delivered %d + dropped %d != sent %d",
+			st.MessagesDelivered, st.MessagesDropped, st.MessagesSent)
+	}
+}
+
 func TestLiveRandConcurrent(t *testing.T) {
 	l := NewLive(nil, 1)
 	defer l.Close()
