@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench chaos ci
+.PHONY: all build test race vet bench chaos obs ci
 
 all: build
 
@@ -26,4 +26,12 @@ bench:
 chaos:
 	$(GO) run ./cmd/experiments -fig chaos -seed 1
 
+# Observability study: the SOMO-dogfooded system-health dashboard plus
+# delivery-loss attribution under chaos. Opt-in (never part of "all").
+obs:
+	$(GO) run ./cmd/experiments -fig obs -trace 20 -seed 1
+
+# The obs smoke run doubles as an end-to-end check that metrics +
+# tracing assemble a dashboard out of the SOMO root snapshot.
 ci: build vet test race
+	$(GO) run ./cmd/experiments -fig obs -seed 1 > /dev/null

@@ -35,12 +35,13 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all, or obs (not part of all)")
 		seed    = flag.Int64("seed", 1, "experiment seed (same seed => identical output)")
 		runs    = flag.Int("runs", 0, "override repetition count (0 = experiment default)")
 		hosts   = flag.Int("hosts", 0, "override pool size (0 = paper default 1200)")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		workers = flag.Int("workers", runtime.NumCPU(), "worker-pool size; output is identical for any value")
+		tracing = flag.Int("trace", 0, "print the last N hop-level trace events (obs figure only)")
 	)
 	flag.Parse()
 
@@ -112,8 +113,18 @@ func main() {
 			return experiments.Ablations(experiments.AblationOptions{Hosts: *hosts, Runs: *runs, Seed: *seed, Workers: *workers})
 		})
 	}
+	// The obs study is opt-in only (exact name, never part of "all") so
+	// the classic figure set stays byte-identical run to run.
+	for _, w := range want {
+		if w == "obs" {
+			run("obs study", func() (experiments.Result, error) {
+				return experiments.Obs(experiments.ObsOptions{Seed: *seed, Workers: *workers, TraceTail: *tracing})
+			})
+			break
+		}
+	}
 	if len(results) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, obs, all)\n", *fig)
 		os.Exit(2)
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"p2ppool/internal/eventsim"
 	"p2ppool/internal/ids"
+	"p2ppool/internal/obs"
 	"p2ppool/internal/transport"
 )
 
@@ -81,6 +82,17 @@ type Node struct {
 	cancelFF transport.CancelFunc
 
 	stats Stats
+
+	// Observability handles (nil when uninstrumented; recording changes
+	// no protocol decisions and draws no randomness).
+	trace          *obs.Trace
+	cHeartbeats    *obs.Counter
+	cAcks          *obs.Counter
+	cFailures      *obs.Counter
+	cRouted        *obs.Counter
+	cDelivered     *obs.Counter
+	cSuspectProbes *obs.Counter
+	hRouteHops     *obs.Histogram
 }
 
 // NewNode creates a node. It does not join any ring; call Bootstrap
@@ -114,12 +126,28 @@ func (n *Node) Active() bool { return n.active }
 // Stats returns a copy of the node's protocol counters.
 func (n *Node) Stats() Stats { return n.stats }
 
+// Instrument wires the node to an observability registry and trace:
+// heartbeat/ack/failure counters, routed/delivered counters, a
+// route-hop histogram, and per-hop trace events. Either argument may
+// be nil; instrumentation never alters protocol behavior.
+func (n *Node) Instrument(reg *obs.Registry, trace *obs.Trace) {
+	n.trace = trace
+	n.cHeartbeats = reg.Counter("dht.heartbeats_sent")
+	n.cAcks = reg.Counter("dht.acks_received")
+	n.cFailures = reg.Counter("dht.failures")
+	n.cRouted = reg.Counter("dht.routed")
+	n.cDelivered = reg.Counter("dht.delivered")
+	n.cSuspectProbes = reg.Counter("dht.suspect_probes")
+	n.hRouteHops = reg.Histogram("dht.route_hops", []float64{0, 1, 2, 3, 4, 6, 8, 12, 16})
+}
+
 // Config returns the node's effective configuration.
 func (n *Node) Config() Config { return n.cfg }
 
 // Bootstrap starts this node as the first member of a new ring.
 func (n *Node) Bootstrap() {
 	n.active = true
+	n.reattach()
 	n.startTimers()
 	n.zoneMaybeChanged()
 }
@@ -129,6 +157,7 @@ func (n *Node) Bootstrap() {
 // with its leafset.
 func (n *Node) Join(seed Entry) {
 	n.active = true
+	n.reattach()
 	n.startTimers()
 	n.send(seed, 64, routed{
 		Key:     n.self.ID,
@@ -150,6 +179,15 @@ func (n *Node) Leave() {
 		n.send(e, 64+8*len(msg.Entries), msg)
 	}
 	n.Stop()
+}
+
+// reattach re-registers the node's transport handler. Stop (crash)
+// detaches it, so a node restarted via Join/Bootstrap would otherwise
+// be deaf — it could send but never hear a reply, leaving it stuck
+// outside the ring forever. Attaching an already-attached address
+// just replaces the handler, so this is a no-op for fresh nodes.
+func (n *Node) reattach() {
+	n.net.Attach(n.self.Addr, n.onMessage)
 }
 
 // Stop halts timers and detaches without notifying anyone (a crash).
@@ -433,6 +471,7 @@ func (n *Node) heartbeatTick() {
 		hb.Payload = n.collectPayloads(e)
 		n.send(e, n.heartbeatSize(hb), hb)
 		n.stats.HeartbeatsSent++
+		n.cHeartbeats.Inc()
 	}
 	n.probeOneFinger(hb)
 	n.probeOneSuspect()
@@ -466,6 +505,7 @@ func (n *Node) probeOneSuspect() {
 	target := n.suspects[alive[n.suspectCursor]]
 	n.send(target.entry, 64, leafsetRequest{From: n.self})
 	n.stats.SuspectProbes++
+	n.cSuspectProbes.Inc()
 }
 
 // probeOneFinger sends a liveness heartbeat to one finger per tick
@@ -505,6 +545,7 @@ func (n *Node) probeOneFinger(hb heartbeat) {
 		hb.Payload = n.collectPayloads(f)
 		n.send(f, n.heartbeatSize(hb), hb)
 		n.stats.HeartbeatsSent++
+		n.cHeartbeats.Inc()
 		return
 	}
 }
@@ -568,6 +609,7 @@ func (n *Node) onHeartbeatAck(m heartbeatAck) {
 	n.touch(m.From)
 	n.merge(m.Entries...)
 	n.stats.AcksReceived++
+	n.cAcks.Inc()
 	rtt := float64(n.net.Now() - m.SentAt)
 	n.deliverPayloads(m.From, rtt, m.Payload)
 }
@@ -598,6 +640,7 @@ func (n *Node) checkFailures() {
 		n.purgeFinger(id)
 		delete(n.neighbors, id)
 		n.stats.Failures++
+		n.cFailures.Inc()
 	}
 	n.rebuild()
 	// Repair: pull fresh leafsets from the nearest survivors on both sides.

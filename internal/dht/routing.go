@@ -2,6 +2,7 @@ package dht
 
 import (
 	"p2ppool/internal/ids"
+	"p2ppool/internal/obs"
 )
 
 // fingerResolve is an internally routed payload used to refresh finger
@@ -21,6 +22,8 @@ type fingerResult struct {
 // this node owns the key.
 func (n *Node) routeMsg(m routed) {
 	n.stats.Routed++
+	n.cRouted.Inc()
+	n.trace.Record(obs.Event{Time: n.net.Now(), Kind: obs.KindHop, From: int(m.Origin.Addr), To: int(n.self.Addr), Size: m.Size, Hop: m.Hops})
 	if m.Origin.Addr != n.self.Addr {
 		n.touch(m.Origin)
 	}
@@ -52,6 +55,8 @@ func (n *Node) owns(key ids.ID) bool {
 // deliver hands a routed message to the local handler.
 func (n *Node) deliver(m routed) {
 	n.stats.Delivered++
+	n.cDelivered.Inc()
+	n.hRouteHops.Observe(float64(m.Hops))
 	switch p := m.Payload.(type) {
 	case joinRequest:
 		// Admit the joiner: share our view (it includes the keys it

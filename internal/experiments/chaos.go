@@ -7,6 +7,7 @@ import (
 	"p2ppool/internal/alm"
 	"p2ppool/internal/eventsim"
 	"p2ppool/internal/faultnet"
+	"p2ppool/internal/obs"
 	"p2ppool/internal/par"
 	"p2ppool/internal/sched"
 	"p2ppool/internal/topology"
@@ -43,6 +44,12 @@ type ChaosOptions struct {
 	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
 	// output is identical for any worker count.
 	Workers int
+	// Registry / Trace, when set, instrument the transport, fault layer
+	// and scheduler of every row (the obs study uses this). Handles are
+	// not synchronized: share a registry across rows only with a single
+	// rate or Workers = 1.
+	Registry *obs.Registry
+	Trace    *obs.Trace
 }
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
@@ -95,6 +102,20 @@ type ChaosRow struct {
 	PeakHeight     float64
 	// Drops is the total messages eaten by injected faults.
 	Drops uint64
+	// Loss attribution: every expected-but-undelivered member delivery
+	// is classified by cause. Undelivered = CauseDead + CauseRepair +
+	// CauseDrop, always — attribution covers 100% of the loss.
+	Undelivered int
+	// CauseDead: the member itself went down while the packet was in
+	// flight (its agent could not receive).
+	CauseDead int
+	// CauseRepair: a forwarding ancestor on the packet's tree path was
+	// down while the packet was in flight — loss during the repair
+	// window between a crash and the tree healing around it.
+	CauseRepair int
+	// CauseDrop: residual injected message loss (link/node loss rules
+	// or the partition window).
+	CauseDrop int
 }
 
 // DeliveryRatio is delivered over expected member deliveries.
@@ -164,6 +185,10 @@ func chaosRun(idx int, rate float64, opts ChaosOptions) (ChaosRow, error) {
 	sim := transport.NewSim(engine, transport.SimOptions{Latency: net.Latency})
 	f := faultnet.New(sim, faultnet.Options{Seed: opts.Seed*100 + int64(idx)})
 	sc := sched.NewScheduler(degrees, net.Latency, sched.Config{})
+	// Nil registry/trace handles are no-ops, so wiring is unconditional.
+	sim.Instrument(opts.Registry, opts.Trace)
+	f.Instrument(opts.Registry, opts.Trace)
+	sc.Instrument(opts.Registry)
 	if err := sc.AddSession(sess); err != nil {
 		return ChaosRow{}, err
 	}
@@ -198,6 +223,33 @@ func chaosRun(idx int, rate float64, opts ChaosOptions) (ChaosRow, error) {
 		}
 	}
 
+	// --- delivery-loss attribution bookkeeping ---
+	// Each expected delivery opens a pending entry holding the send time
+	// and a snapshot of the member's tree path (the chain the packet
+	// will actually travel, even if the tree is repaired afterwards).
+	// Delivery closes the entry; whatever is left after the run is the
+	// loss, classified against the per-host downtime log.
+	type pendingDelivery struct {
+		sentAt eventsim.Time
+		path   []int // forwarding ancestors, member side first; excludes root and member
+	}
+	pending := make(map[int]pendingDelivery) // seq*Hosts+member
+	type downInterval struct{ from, to eventsim.Time }
+	downtime := make(map[int][]downInterval)
+	pathTo := func(m int) []int {
+		var path []int
+		for v := m; ; {
+			p, ok := sess.Tree.Parent(v)
+			if !ok {
+				return path
+			}
+			if p != sess.Root {
+				path = append(path, p)
+			}
+			v = p
+		}
+	}
+
 	// --- data plane: forward packets along the current tree ---
 	seen := make(map[int]bool) // seq*Hosts+host, dedup across replans
 	for h := 0; h < opts.Hosts; h++ {
@@ -211,6 +263,7 @@ func chaosRun(idx int, rate float64, opts ChaosOptions) (ChaosRow, error) {
 				if key := pkt.Seq*opts.Hosts + h; !seen[key] {
 					seen[key] = true
 					row.Delivered++
+					delete(pending, key)
 				}
 			}
 			for _, c := range sess.Tree.Children(h) {
@@ -228,6 +281,7 @@ func chaosRun(idx int, rate float64, opts ChaosOptions) (ChaosRow, error) {
 			for _, m := range sess.Members {
 				if !f.Crashed(transport.Addr(m)) {
 					row.Expected++
+					pending[row.Sent*opts.Hosts+m] = pendingDelivery{sentAt: f.Now(), path: pathTo(m)}
 				}
 			}
 			pkt := chaosPacket{Seq: row.Sent}
@@ -285,6 +339,17 @@ func chaosRun(idx int, rate float64, opts ChaosOptions) (ChaosRow, error) {
 			}
 			noteHeight()
 		})
+	})
+	f.OnCrash(func(a transport.Addr) {
+		// Open a downtime interval (closed on restart, or left open to
+		// the end of the run for hosts that stay dead).
+		downtime[int(a)] = append(downtime[int(a)], downInterval{from: f.Now(), to: opts.Window + 5*eventsim.Second})
+	})
+	f.OnRestart(func(a transport.Addr) {
+		iv := downtime[int(a)]
+		if len(iv) > 0 {
+			iv[len(iv)-1].to = f.Now()
+		}
 	})
 	f.OnRestart(func(a transport.Addr) {
 		host := int(a)
@@ -348,7 +413,71 @@ func chaosRun(idx int, rate float64, opts ChaosOptions) (ChaosRow, error) {
 	if row.Repairs > 0 {
 		row.MeanRepairSeconds = float64(repairTotal) / float64(row.Repairs) / 1000
 	}
+
+	// --- classify the loss ---
+	// A packet's delivery window is [sentAt, sentAt+grace]; grace covers
+	// worst-case tree traversal. Priority: the member being down beats a
+	// broken path (its agent could not have received either way); a
+	// broken path beats residual message loss.
+	const grace = 2 * eventsim.Second
+	downIn := func(h int, from, to eventsim.Time) bool {
+		for _, iv := range downtime[h] {
+			if iv.from <= to && from <= iv.to {
+				return true
+			}
+		}
+		return false
+	}
+	for key, p := range pending {
+		member := key % opts.Hosts
+		row.Undelivered++
+		switch {
+		case downIn(member, p.sentAt, p.sentAt+grace):
+			row.CauseDead++
+		default:
+			repair := false
+			for _, anc := range p.path {
+				if downIn(anc, p.sentAt, p.sentAt+grace) {
+					repair = true
+					break
+				}
+			}
+			if repair {
+				row.CauseRepair++
+			} else {
+				row.CauseDrop++
+			}
+		}
+	}
 	return row, nil
+}
+
+// AttributionTable renders the delivery-loss attribution: every
+// expected-but-undelivered member delivery assigned to a cause. It is
+// a separate table so the classic chaos table stays byte-stable.
+func (r *ChaosResult) AttributionTable() Table {
+	t := Table{
+		Title: "Chaos: delivery-loss attribution",
+		Columns: []string{
+			"rate/min", "expected", "delivered", "lost",
+			"dead agent", "repair window", "drop", "attributed",
+		},
+		Note: "dead agent = member down in the packet's delivery window; repair window = a " +
+			"forwarding ancestor down (loss between crash and tree repair); drop = residual " +
+			"injected message loss; attribution always covers 100% of the loss",
+	}
+	for _, row := range r.Rows {
+		attributed := 1.0
+		if row.Undelivered > 0 {
+			attributed = float64(row.CauseDead+row.CauseRepair+row.CauseDrop) / float64(row.Undelivered)
+		}
+		t.Rows = append(t.Rows, []string{
+			f1(row.Rate), d(row.Expected), d(row.Delivered), d(row.Undelivered),
+			d(row.CauseDead), d(row.CauseRepair), d(row.CauseDrop),
+			f3(attributed),
+		})
+	}
+	return t
 }
 
 // Tables renders the fault-injection study.

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"testing"
+
+	"p2ppool/internal/eventsim"
+)
+
+// TestObsWorkerDeterminism: the observability study obeys the same
+// parallel-determinism contract as every other figure — identical
+// rendered output (health table, registry totals, trace summary and
+// tail, attribution) for any worker count.
+func TestObsWorkerDeterminism(t *testing.T) {
+	assertWorkerInvariant(t, func(w int) (Result, error) {
+		return Obs(ObsOptions{Nodes: 16, Runtime: 100 * eventsim.Second, TraceTail: 8, Seed: 3, Workers: w})
+	})
+}
+
+// TestObsObserverEffectZero: instrumentation must not change the run.
+// The health study executed with a live registry + trace and with all
+// handles nil must produce byte-identical protocol digests (event
+// count, traffic counters, fault counters, per-member statuses).
+func TestObsObserverEffectZero(t *testing.T) {
+	opts := ObsOptions{Nodes: 16, Runtime: 100 * eventsim.Second, Seed: 5}.withDefaults()
+	on, err := obsHealthRun(opts, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := obsHealthRun(opts, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Digest != off.Digest {
+		t.Errorf("instrumentation changed the run:\n with: %s\n without: %s", on.Digest, off.Digest)
+	}
+	if len(on.Totals.Counters) == 0 || on.Summary.Total == 0 {
+		t.Error("instrumented run recorded no metrics/trace events")
+	}
+	if len(off.Totals.Counters) != 0 || off.Summary.Total != 0 {
+		t.Error("uninstrumented run leaked metrics/trace events")
+	}
+}
+
+// TestObsHealthDashboard: the SOMO root snapshot doubles as the health
+// dashboard — the dead member shows as down, the rejoined member
+// resumes reporting, and everyone else is ok with live counters.
+func TestObsHealthDashboard(t *testing.T) {
+	res, err := Obs(ObsOptions{Seed: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var down, ok int
+	for _, row := range res.Health.Rows {
+		switch row.Status {
+		case "down":
+			down++
+		case "ok":
+			ok++
+			if row.Heartbeats == 0 {
+				t.Errorf("ok host %d published zero heartbeats", row.Host)
+			}
+		}
+	}
+	if down != 1 {
+		t.Errorf("down hosts = %d, want exactly 1 (the victim that never rejoins)", down)
+	}
+	if ok < res.Opts.Nodes-2 {
+		t.Errorf("ok hosts = %d, want >= %d", ok, res.Opts.Nodes-2)
+	}
+}
+
+// TestChaosAttributionComplete: every expected-but-undelivered packet
+// is attributed to exactly one cause, and the fault-free row loses
+// nothing.
+func TestChaosAttributionComplete(t *testing.T) {
+	res, err := Chaos(ChaosOptions{Hosts: 64, GroupSize: 12, Rates: []float64{0, 2, 4},
+		Window: 90 * eventsim.Second, Seed: 3, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Undelivered != row.Expected-row.Delivered {
+			t.Errorf("rate %v: Undelivered %d != Expected %d - Delivered %d",
+				row.Rate, row.Undelivered, row.Expected, row.Delivered)
+		}
+		if sum := row.CauseDead + row.CauseRepair + row.CauseDrop; sum != row.Undelivered {
+			t.Errorf("rate %v: causes sum to %d, want %d (100%% attribution)",
+				row.Rate, sum, row.Undelivered)
+		}
+		if row.Rate == 0 && row.Undelivered != 0 {
+			t.Errorf("fault-free row lost %d deliveries", row.Undelivered)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"p2ppool/internal/eventsim"
+	"p2ppool/internal/obs"
 	"p2ppool/internal/transport"
 )
 
@@ -70,6 +71,19 @@ type Net struct {
 	onRestart []func(transport.Addr)
 
 	ctr Counters
+
+	// Observability handles (nil when uninstrumented; recording draws
+	// no randomness and schedules no events, so fault decisions — and
+	// therefore the run — are identical either way).
+	trace      *obs.Trace
+	cLinkDrops *obs.Counter
+	cNodeDrops *obs.Counter
+	cPartDrops *obs.Counter
+	cCrashDrop *obs.Counter
+	cDelayed   *obs.Counter
+	cCrashes   *obs.Counter
+	cRestarts  *obs.Counter
+	hJitter    *obs.Histogram
 }
 
 // New wraps inner in a fault-injection layer. Endpoints must Attach
@@ -88,6 +102,27 @@ func New(inner transport.Network, opt Options) *Net {
 
 // Counters returns a copy of the fault accounting.
 func (f *Net) Counters() Counters { return f.ctr }
+
+// Instrument wires the fault layer to an observability registry and
+// trace: per-cause drop counters, jitter histogram, crash/restart
+// transitions. Either argument may be nil; instrumentation never
+// changes fault decisions (zero observer effect).
+func (f *Net) Instrument(reg *obs.Registry, trace *obs.Trace) {
+	f.trace = trace
+	f.cLinkDrops = reg.Counter("faultnet.link_drops")
+	f.cNodeDrops = reg.Counter("faultnet.node_drops")
+	f.cPartDrops = reg.Counter("faultnet.partition_drops")
+	f.cCrashDrop = reg.Counter("faultnet.crash_drops")
+	f.cDelayed = reg.Counter("faultnet.delayed")
+	f.cCrashes = reg.Counter("faultnet.crashes")
+	f.cRestarts = reg.Counter("faultnet.restarts")
+	f.hJitter = reg.Histogram("faultnet.jitter_ms", nil)
+}
+
+// dropEvent records an injected drop in the observability layer.
+func (f *Net) dropEvent(from, to transport.Addr, sizeBytes int, cause string) {
+	f.trace.Record(obs.Event{Time: f.inner.Now(), Kind: obs.KindDrop, From: int(from), To: int(to), Size: sizeBytes, Cause: cause})
+}
 
 // Inner returns the wrapped network.
 func (f *Net) Inner() transport.Network { return f.inner }
@@ -153,6 +188,8 @@ func (f *Net) Crash(a transport.Addr) {
 	}
 	f.crashed[a] = true
 	f.ctr.Crashes++
+	f.cCrashes.Inc()
+	f.trace.Record(obs.Event{Time: f.inner.Now(), Kind: obs.KindCrash, From: int(a), To: -1})
 	for _, fn := range f.onCrash {
 		fn(a)
 	}
@@ -167,6 +204,8 @@ func (f *Net) Restart(a transport.Addr) {
 	}
 	delete(f.crashed, a)
 	f.ctr.Restarts++
+	f.cRestarts.Inc()
+	f.trace.Record(obs.Event{Time: f.inner.Now(), Kind: obs.KindRestart, From: int(a), To: -1})
 	for _, fn := range f.onRestart {
 		fn(a)
 	}
@@ -235,6 +274,8 @@ func (f *Net) Attach(a transport.Addr, h transport.Handler) {
 	f.inner.Attach(a, func(from transport.Addr, msg transport.Message) {
 		if f.crashed[a] {
 			f.ctr.CrashDrops++
+			f.cCrashDrop.Inc()
+			f.dropEvent(from, a, 0, "crash")
 			return
 		}
 		if cur, ok := f.handlers[a]; ok {
@@ -256,27 +297,40 @@ func (f *Net) Detach(a transport.Addr) {
 func (f *Net) Send(from, to transport.Addr, sizeBytes int, msg transport.Message) {
 	if f.crashed[from] || f.crashed[to] {
 		f.ctr.CrashDrops++
+		f.cCrashDrop.Inc()
+		f.dropEvent(from, to, sizeBytes, "crash")
 		return
 	}
 	if f.Partitioned(from, to) {
 		f.ctr.PartitionDrops++
+		f.cPartDrops.Inc()
+		f.dropEvent(from, to, sizeBytes, "partition")
 		return
 	}
 	if p, ok := f.linkLoss[[2]transport.Addr{from, to}]; ok && f.rng.Float64() < p {
 		f.ctr.LinkDrops++
+		f.cLinkDrops.Inc()
+		f.dropEvent(from, to, sizeBytes, "link-loss")
 		return
 	}
 	if p, ok := f.nodeLoss[from]; ok && f.rng.Float64() < p {
 		f.ctr.NodeDrops++
+		f.cNodeDrops.Inc()
+		f.dropEvent(from, to, sizeBytes, "node-loss")
 		return
 	}
 	if p, ok := f.nodeLoss[to]; ok && f.rng.Float64() < p {
 		f.ctr.NodeDrops++
+		f.cNodeDrops.Inc()
+		f.dropEvent(from, to, sizeBytes, "node-loss")
 		return
 	}
 	if f.jitter > 0 {
 		d := eventsim.Time(f.rng.Float64() * float64(f.jitter))
 		f.ctr.Delayed++
+		f.cDelayed.Inc()
+		f.hJitter.Observe(float64(d))
+		f.trace.Record(obs.Event{Time: f.inner.Now(), Kind: obs.KindDelay, From: int(from), To: int(to), Size: sizeBytes, Latency: float64(d)})
 		f.inner.After(d, func() { f.inner.Send(from, to, sizeBytes, msg) })
 		return
 	}

@@ -1,0 +1,318 @@
+// Package obs is the in-band observability layer of the resource pool:
+// a per-node metrics registry (counters, gauges and virtual-clock
+// histograms) plus a hop-level message trace (trace.go). The paper's
+// core claim is that SOMO turns the DHT into a *self-monitoring*
+// system, so the layer is designed to be dogfooded through SOMO
+// itself: each member's LocalFunc payload carries its registry
+// snapshot (the Health record below), which makes the SOMO root
+// snapshot double as the system-health dashboard — no side channel,
+// the monitoring data rides the monitored overlay.
+//
+// Two properties are load-bearing:
+//
+//   - Zero observer effect. Recording a metric or a trace event never
+//     schedules an event, draws randomness, or sends a message, so an
+//     instrumented run is event-identical to an uninstrumented one
+//     (pinned by TestObsObserverEffectZero). Every handle is nil-safe:
+//     an uninstrumented subsystem holds nil handles and each record
+//     call is a single nil-check.
+//
+//   - Deterministic snapshots. Snapshot output is sorted by name and
+//     carries no wall-clock state, so the same seed produces the same
+//     bytes for any worker count.
+package obs
+
+import "sort"
+
+// Counter is a monotonically increasing event count. The zero of the
+// registry is nil handles everywhere: methods on a nil Counter are
+// no-ops, so instrumentation points need no enabled-flag.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) {
+	if c != nil {
+		c.v += delta
+	}
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a last-write-wins measurement.
+type Gauge struct {
+	name string
+	v    float64
+	set  bool
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v, g.set = v, true
+	}
+}
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g != nil {
+		g.v, g.set = g.v+delta, true
+	}
+}
+
+// Value returns the last recorded value (0 on a nil handle).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram accumulates observations (typically virtual-clock
+// latencies in milliseconds) into fixed buckets. Allocation happens
+// once at creation; Observe is a scan over a handful of bounds.
+type Histogram struct {
+	name    string
+	bounds  []float64 // upper bounds, ascending; implicit +Inf last
+	buckets []uint64  // len(bounds)+1
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// DefaultLatencyBounds bucket one-way and round-trip virtual-clock
+// latencies (ms) at the scales the simulated topologies produce.
+var DefaultLatencyBounds = []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Registry is one node's metric namespace. Like the protocol state
+// machines it instruments, it is single-threaded: drive it from the
+// event loop (or one dispatch goroutine) only. All methods are
+// nil-safe, so a nil *Registry is the "observability off" mode.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter; nil registry
+// yields a nil (no-op) handle.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// given bucket bounds (ascending; nil means DefaultLatencyBounds). The
+// bounds of an existing histogram are not changed.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		if bounds == nil {
+			bounds = DefaultLatencyBounds
+		}
+		h = &Histogram{
+			name:    name,
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]uint64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string
+	Value float64
+}
+
+// HistogramValue is one histogram in a snapshot.
+type HistogramValue struct {
+	Name    string
+	Count   uint64
+	Sum     float64
+	Min     float64
+	Max     float64
+	Bounds  []float64
+	Buckets []uint64
+}
+
+// Mean returns the snapshot's average observation (0 when empty).
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Snapshot is a registry frozen at one instant, sorted by name so that
+// equal registries snapshot to equal values (the determinism contract;
+// it travels inside SOMO records, so it must also be cheap).
+type Snapshot struct {
+	Counters   []CounterValue
+	Gauges     []GaugeValue
+	Histograms []HistogramValue
+}
+
+// Snapshot freezes the registry. A nil registry snapshots to the zero
+// Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make([]CounterValue, 0, len(r.counters))
+		for _, c := range r.counters {
+			s.Counters = append(s.Counters, CounterValue{Name: c.name, Value: c.v})
+		}
+		sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make([]GaugeValue, 0, len(r.gauges))
+		for _, g := range r.gauges {
+			s.Gauges = append(s.Gauges, GaugeValue{Name: g.name, Value: g.v})
+		}
+		sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make([]HistogramValue, 0, len(r.hists))
+		for _, h := range r.hists {
+			s.Histograms = append(s.Histograms, HistogramValue{
+				Name:    h.name,
+				Count:   h.count,
+				Sum:     h.sum,
+				Min:     h.min,
+				Max:     h.max,
+				Bounds:  append([]float64(nil), h.bounds...),
+				Buckets: append([]uint64(nil), h.buckets...),
+			})
+		}
+		sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	}
+	return s
+}
+
+// Counter returns the named counter's value in the snapshot (0 when
+// absent) — the lookup the health dashboard uses per record.
+func (s Snapshot) Counter(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value and whether it is present.
+func (s Snapshot) Gauge(name string) (float64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram's snapshot and whether it is
+// present.
+func (s Snapshot) Histogram(name string) (HistogramValue, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}

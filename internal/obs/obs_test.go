@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// The "observability off" mode: nil registry, nil handles, nil
+	// trace. Every operation must be a no-op, not a panic.
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(10)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Error("nil registry must snapshot empty")
+	}
+	var tr *Trace
+	tr.Record(Event{Kind: KindSend})
+	if tr.Total() != 0 || tr.Events() != nil {
+		t.Error("nil trace must record nothing")
+	}
+	if s := tr.Summary(); s.Total != 0 {
+		t.Error("nil trace summary must be zero")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := New()
+	c := r.Counter("transport.sent")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("transport.sent") != c {
+		t.Error("same name must return the same counter")
+	}
+	g := r.Gauge("somo.last_report_ms")
+	g.Set(100)
+	g.Add(-10)
+	if g.Value() != 90 {
+		t.Errorf("gauge = %v, want 90", g.Value())
+	}
+	h := r.Histogram("lat", []float64{10, 100})
+	for _, v := range []float64{5, 50, 500, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("hist count = %d, want 4", h.Count())
+	}
+	if h.Mean() != (5+50+500+7)/4.0 {
+		t.Errorf("hist mean = %v", h.Mean())
+	}
+	snap, ok := r.Snapshot().Histogram("lat")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if !reflect.DeepEqual(snap.Buckets, []uint64{2, 1, 1}) {
+		t.Errorf("buckets = %v, want [2 1 1]", snap.Buckets)
+	}
+	if snap.Min != 5 || snap.Max != 500 {
+		t.Errorf("min/max = %v/%v, want 5/500", snap.Min, snap.Max)
+	}
+}
+
+// TestSnapshotDeterministic: two registries fed the same metrics in
+// different insertion orders must snapshot to identical values — the
+// property that lets snapshots travel inside SOMO records without
+// breaking byte-identical experiment output.
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func(names []string) Snapshot {
+		r := New()
+		for i, n := range names {
+			r.Counter(n).Add(uint64(10 + len(n)))
+			r.Gauge("g." + n).Set(float64(i * 0)) // same value either order
+			r.Histogram("h."+n, []float64{1, 2}).Observe(1.5)
+		}
+		return r.Snapshot()
+	}
+	a := build([]string{"alpha", "beta", "gamma"})
+	b := build([]string{"gamma", "alpha", "beta"})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("snapshots differ by insertion order:\n%+v\n%+v", a, b)
+	}
+	for i := 1; i < len(a.Counters); i++ {
+		if a.Counters[i-1].Name >= a.Counters[i].Name {
+			t.Error("counters not sorted by name")
+		}
+	}
+}
+
+func TestSnapshotLookups(t *testing.T) {
+	r := New()
+	r.Counter("a").Add(7)
+	r.Gauge("b").Set(2.5)
+	s := r.Snapshot()
+	if s.Counter("a") != 7 || s.Counter("missing") != 0 {
+		t.Error("snapshot counter lookup wrong")
+	}
+	if v, ok := s.Gauge("b"); !ok || v != 2.5 {
+		t.Error("snapshot gauge lookup wrong")
+	}
+	if _, ok := s.Gauge("missing"); ok {
+		t.Error("missing gauge reported present")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"p2ppool/internal/alm"
+	"p2ppool/internal/obs"
 )
 
 // Session is one ALM task competing in the pool.
@@ -91,6 +92,18 @@ type Scheduler struct {
 
 	sessions map[SessionID]*Session
 	dirty    map[SessionID]bool
+
+	// Observability handles (nil when uninstrumented; tree-shape gauges
+	// are only computed when instrumented, so the uninstrumented path
+	// does no extra work).
+	cPlans        *obs.Counter
+	cReplans      *obs.Counter
+	cPreemptions  *obs.Counter
+	cRepairs      *obs.Counter
+	cNodeFailures *obs.Counter
+	gSessions     *obs.Gauge
+	gTreeHeight   *obs.Gauge
+	gTreeDegree   *obs.Gauge
 }
 
 // NewScheduler creates a scheduler over hosts with the given degree
@@ -110,6 +123,47 @@ func NewScheduler(bounds []int, lat alm.LatencyFunc, cfg Config) *Scheduler {
 
 // Registry exposes the degree tables (tests and reporting).
 func (sc *Scheduler) Registry() *Registry { return sc.reg }
+
+// Instrument wires the scheduler to an observability registry: plan,
+// replan, preemption and in-place-repair counters plus tree-shape
+// gauges (worst height across sessions, widest fan-out). reg may be
+// nil; instrumentation never alters scheduling decisions.
+func (sc *Scheduler) Instrument(reg *obs.Registry) {
+	sc.cPlans = reg.Counter("sched.plans")
+	sc.cReplans = reg.Counter("sched.replans")
+	sc.cPreemptions = reg.Counter("sched.preemptions")
+	sc.cRepairs = reg.Counter("sched.repairs_inplace")
+	sc.cNodeFailures = reg.Counter("sched.node_failures")
+	sc.gSessions = reg.Gauge("sched.sessions")
+	sc.gTreeHeight = reg.Gauge("sched.max_tree_height_ms")
+	sc.gTreeDegree = reg.Gauge("sched.max_tree_degree")
+}
+
+// observeShape refreshes the session-count and tree-shape gauges.
+// Skipped entirely when uninstrumented (MaxHeight walks every tree).
+func (sc *Scheduler) observeShape() {
+	if sc.gSessions == nil {
+		return
+	}
+	sc.gSessions.Set(float64(len(sc.sessions)))
+	var height float64
+	var degree int
+	for _, s := range sc.sessions {
+		if s.Tree == nil {
+			continue
+		}
+		if h := s.Tree.MaxHeight(sc.lat); h > height {
+			height = h
+		}
+		for _, v := range s.Tree.Nodes() {
+			if d := s.Tree.Degree(v); d > degree {
+				degree = d
+			}
+		}
+	}
+	sc.gTreeHeight.Set(height)
+	sc.gTreeDegree.Set(float64(degree))
+}
 
 // Sessions returns the active sessions sorted by ID.
 func (sc *Scheduler) Sessions() []*Session {
@@ -224,7 +278,9 @@ func (sc *Scheduler) Stabilize() (plans int, err error) {
 				return plans, fmt.Errorf("session %d: %w", s.ID, err)
 			}
 			plans++
+			sc.cPlans.Inc()
 		}
+		sc.observeShape()
 	}
 	if len(sc.dirty) > 0 {
 		return plans, fmt.Errorf("sched: did not stabilize within %d rounds (%d dirty)", sc.cfg.MaxRounds, len(sc.dirty))
@@ -241,6 +297,7 @@ func (sc *Scheduler) Stabilize() (plans int, err error) {
 // Replans counter is incremented. The affected session IDs (including
 // removed ones) are returned in priority-then-ID order.
 func (sc *Scheduler) NodeFailed(host int) []SessionID {
+	sc.cNodeFailures.Inc()
 	sc.reg.SetDead(host)
 	order := sc.Sessions()
 	sort.Slice(order, func(i, j int) bool {
@@ -270,6 +327,7 @@ func (sc *Scheduler) NodeFailed(host int) []SessionID {
 		}
 		affected = append(affected, s.ID)
 		s.Replans++
+		sc.cReplans.Inc()
 		sc.reg.Release(s.ID)
 		if inTree {
 			members := s.memberSet()
@@ -280,6 +338,7 @@ func (sc *Scheduler) NodeFailed(host int) []SessionID {
 			}
 			if err == nil {
 				s.Tree = repaired
+				sc.cRepairs.Inc()
 				continue
 			}
 			// Partial reservations from a failed reserveTree are undone
@@ -289,6 +348,7 @@ func (sc *Scheduler) NodeFailed(host int) []SessionID {
 		}
 		sc.dirty[s.ID] = true
 	}
+	sc.observeShape()
 	return affected
 }
 
@@ -328,6 +388,8 @@ func (sc *Scheduler) reserveTree(s *Session, tree *alm.Tree, members map[int]boo
 			}
 			if victim, ok := sc.sessions[vic]; ok {
 				victim.Replans++
+				sc.cReplans.Inc()
+				sc.cPreemptions.Inc()
 				sc.dirty[vic] = true
 			}
 		}

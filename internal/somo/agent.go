@@ -6,6 +6,7 @@ import (
 	"p2ppool/internal/dht"
 	"p2ppool/internal/eventsim"
 	"p2ppool/internal/ids"
+	"p2ppool/internal/obs"
 )
 
 // Record is one member's metadata report as it travels up the tree.
@@ -60,6 +61,11 @@ type Config struct {
 	// ReportBytesPerRecord models the wire size of one record (the
 	// paper's leaf report is 40 bytes).
 	ReportBytesPerRecord int
+	// QueryTimeout bounds how long a Query waits for the root's reply.
+	// If the root owner dies (or the reply is lost) the pending callback
+	// would otherwise leak forever; after the timeout it fires once with
+	// a zero Snapshot. 0 means 4 * ReportInterval.
+	QueryTimeout eventsim.Time
 }
 
 // DefaultConfig returns the paper's SOMO parameters.
@@ -87,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GatherWindow <= 0 {
 		c.GatherWindow = 400 * eventsim.Millisecond
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 4 * c.ReportInterval
 	}
 	return c
 }
@@ -139,7 +148,7 @@ type Agent struct {
 	digest   Digest   // latest digest seen (root: own; others: from acks)
 
 	queryToken uint64
-	queries    map[uint64]func(Snapshot)
+	queries    map[uint64]*pendingQuery
 
 	// Synchronized-flow wave state: while a wave is pending this agent
 	// has pulled its children and is waiting for their fresh reports.
@@ -153,6 +162,23 @@ type Agent struct {
 	// Metrics.
 	reportsSent     uint64
 	reportsReceived uint64
+	lastReport      eventsim.Time
+
+	// Observability handles (nil when uninstrumented).
+	cReportsSent   *obs.Counter
+	cReportsRecv   *obs.Counter
+	cWaves         *obs.Counter
+	cQueryTimeouts *obs.Counter
+	gLastReport    *obs.Gauge
+	gDigestVersion *obs.Gauge
+	hRecordAge     *obs.Histogram
+}
+
+// pendingQuery is an outstanding Query awaiting the root's snapshot;
+// cancel disarms its timeout timer.
+type pendingQuery struct {
+	cb     func(Snapshot)
+	cancel func() bool
 }
 
 // NewAgent attaches a SOMO agent to a node. local provides the member's
@@ -165,7 +191,7 @@ func NewAgent(node *dht.Node, cfg Config, local LocalFunc) *Agent {
 		local:         local,
 		children:      make(map[ids.ID]Record),
 		knownChildren: make(map[ids.ID]dht.Entry),
-		queries:       make(map[uint64]func(Snapshot)),
+		queries:       make(map[uint64]*pendingQuery),
 	}
 	node.OnRouted(a.onRouted)
 	node.OnApp(a.onApp)
@@ -173,13 +199,34 @@ func NewAgent(node *dht.Node, cfg Config, local LocalFunc) *Agent {
 	return a
 }
 
-// Stop halts the agent's periodic reporting.
+// Stop halts the agent's periodic reporting and disarms outstanding
+// query timeouts (their callbacks are never invoked).
 func (a *Agent) Stop() {
 	a.stopped = true
 	if a.cancelTick != nil {
 		a.cancelTick()
 		a.cancelTick = nil
 	}
+	for tok, pq := range a.queries {
+		if pq.cancel != nil {
+			pq.cancel()
+		}
+		delete(a.queries, tok)
+	}
+}
+
+// Instrument wires the agent to an observability registry: report
+// counters, wave completions, query timeouts, a last-report gauge and
+// a record-age (digest staleness) histogram. reg may be nil;
+// instrumentation never alters protocol behavior.
+func (a *Agent) Instrument(reg *obs.Registry) {
+	a.cReportsSent = reg.Counter("somo.reports_sent")
+	a.cReportsRecv = reg.Counter("somo.reports_received")
+	a.cWaves = reg.Counter("somo.waves")
+	a.cQueryTimeouts = reg.Counter("somo.query_timeouts")
+	a.gLastReport = reg.Gauge("somo.last_report_ms")
+	a.gDigestVersion = reg.Gauge("somo.digest_version")
+	a.hRecordAge = reg.Histogram("somo.record_age_ms", []float64{100, 500, 1000, 2500, 5000, 10000, 25000, 50000})
 }
 
 // Node returns the DHT node this agent runs on.
@@ -209,9 +256,16 @@ func (a *Agent) ReportsSent() uint64 { return a.reportsSent }
 // ReportsReceived returns how many child reports this agent has taken.
 func (a *Agent) ReportsReceived() uint64 { return a.reportsReceived }
 
+// LastReport returns when this agent last pushed a report up (or, on
+// the root, refreshed the snapshot). Zero if it has never reported.
+// The obs experiment uses this to tell a silent agent from a slow one.
+func (a *Agent) LastReport() eventsim.Time { return a.lastReport }
+
 // Query requests the current global snapshot from the root; cb runs
 // when the reply arrives. A member that is itself the root answers
-// synchronously.
+// synchronously. If no reply arrives within QueryTimeout (root died,
+// reply lost), cb fires once with a zero Snapshot — callbacks never
+// leak, and callers can distinguish the cases by Snapshot.Version == 0.
 func (a *Agent) Query(cb func(Snapshot)) {
 	if a.IsRoot() {
 		a.refreshRoot()
@@ -220,7 +274,15 @@ func (a *Agent) Query(cb func(Snapshot)) {
 	}
 	a.queryToken++
 	tok := a.queryToken
-	a.queries[tok] = cb
+	pq := &pendingQuery{cb: cb}
+	a.queries[tok] = pq
+	pq.cancel = a.node.Network().After(a.cfg.QueryTimeout, func() {
+		if cur, ok := a.queries[tok]; ok && cur == pq {
+			delete(a.queries, tok)
+			a.cQueryTimeouts.Inc()
+			cb(Snapshot{})
+		}
+	})
 	a.node.Route(Root.Position(a.cfg.Fanout), 64, queryMsg{ReplyTo: a.node.Self(), Token: tok})
 }
 
@@ -237,10 +299,18 @@ func (a *Agent) scheduleTick(d eventsim.Time) {
 }
 
 func (a *Agent) tick() {
-	if a.stopped || !a.node.Active() {
+	if a.stopped {
 		return
 	}
-	a.flow()
+	// Reschedule through inactivity. The tick used to die the first
+	// time it fired on an inactive node, so an agent whose node was
+	// crashed by the fault layer and later rejoined stayed silent
+	// forever — it never reappeared in the root snapshot. Skipping the
+	// flow while inactive but keeping the loop alive lets reporting
+	// resume on its own the interval after the node rejoins.
+	if a.node.Active() {
+		a.flow()
+	}
 	a.scheduleTick(a.jitteredInterval())
 }
 
@@ -272,6 +342,7 @@ func (a *Agent) finishWave() {
 		a.waveCancel()
 		a.waveCancel = nil
 	}
+	a.cWaves.Inc()
 	a.pushUp()
 }
 
@@ -291,6 +362,9 @@ func (a *Agent) pushUp() {
 	size := 64 + a.cfg.ReportBytesPerRecord*len(records)
 	a.node.Route(parentPos, size, reportMsg{Reporter: a.node.Self(), Records: records})
 	a.reportsSent++
+	a.lastReport = a.node.Network().Now()
+	a.cReportsSent.Inc()
+	a.gLastReport.Set(float64(a.lastReport))
 }
 
 // assemble merges the member's own record with unexpired child records.
@@ -326,6 +400,16 @@ func (a *Agent) refreshRoot() {
 		NodeCount: len(records),
 		Time:      a.snapshot.Time,
 	}
+	a.lastReport = a.snapshot.Time
+	a.gLastReport.Set(float64(a.lastReport))
+	a.gDigestVersion.Set(float64(a.digest.Version))
+	if a.hRecordAge != nil {
+		// Record age at the root IS the gather staleness the paper
+		// bounds by depth * ReportInterval.
+		for _, rec := range records {
+			a.hRecordAge.Observe(float64(a.snapshot.Time - rec.Time))
+		}
+	}
 }
 
 // pullChildren (synchronized mode) nudges known children to report now.
@@ -341,6 +425,7 @@ func (a *Agent) onRouted(key ids.ID, from dht.Entry, hops int, payload interface
 	switch m := payload.(type) {
 	case reportMsg:
 		a.reportsReceived++
+		a.cReportsRecv.Inc()
 		for _, rec := range m.Records {
 			if old, ok := a.children[rec.Source.ID]; !ok || rec.Time > old.Time {
 				a.children[rec.Source.ID] = rec
@@ -369,15 +454,19 @@ func (a *Agent) onApp(from dht.Entry, payload interface{}) {
 	case reportAck:
 		if m.Digest.Version > a.digest.Version {
 			a.digest = m.Digest
+			a.gDigestVersion.Set(float64(a.digest.Version))
 		}
 	case pullMsg:
 		if !a.stopped && a.node.Active() {
 			a.flow()
 		}
 	case snapshotMsg:
-		if cb, ok := a.queries[m.Token]; ok {
+		if pq, ok := a.queries[m.Token]; ok {
 			delete(a.queries, m.Token)
-			cb(m.Snapshot)
+			if pq.cancel != nil {
+				pq.cancel()
+			}
+			pq.cb(m.Snapshot)
 		}
 	}
 }

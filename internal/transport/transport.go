@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"p2ppool/internal/eventsim"
+	"p2ppool/internal/obs"
 )
 
 // Addr identifies an attached endpoint (a host index in the topology).
@@ -90,6 +91,16 @@ type Sim struct {
 	lastArrival map[[2]Addr]eventsim.Time
 
 	stats Stats
+
+	// Observability handles (nil when uninstrumented; every operation
+	// on them is then a no-op, so Send's behavior — event schedule,
+	// randomness, stats — is identical either way).
+	trace      *obs.Trace
+	cSent      *obs.Counter
+	cDelivered *obs.Counter
+	cDropped   *obs.Counter
+	cBytes     *obs.Counter
+	hDelivery  *obs.Histogram
 }
 
 // SimOptions configures a Sim network.
@@ -117,6 +128,20 @@ func NewSim(engine *eventsim.Engine, opt SimOptions) *Sim {
 		down:        make(map[Addr]bool),
 		lastArrival: make(map[[2]Addr]eventsim.Time),
 	}
+}
+
+// Instrument wires the simulated transport to an observability
+// registry and trace. Recording draws no randomness and schedules no
+// events, so an instrumented run is event-identical to an
+// uninstrumented one (the zero-observer-effect contract). Either
+// argument may be nil.
+func (s *Sim) Instrument(reg *obs.Registry, trace *obs.Trace) {
+	s.trace = trace
+	s.cSent = reg.Counter("transport.sent")
+	s.cDelivered = reg.Counter("transport.delivered")
+	s.cDropped = reg.Counter("transport.dropped")
+	s.cBytes = reg.Counter("transport.bytes")
+	s.hDelivery = reg.Histogram("transport.delivery_ms", nil)
 }
 
 // Attach implements Network.
@@ -149,12 +174,17 @@ func (s *Sim) IsDown(a Addr) bool { return s.down[a] }
 func (s *Sim) Send(from, to Addr, sizeBytes int, msg Message) {
 	s.stats.MessagesSent++
 	s.stats.BytesSent += uint64(sizeBytes)
+	s.cSent.Inc()
+	s.cBytes.Add(uint64(sizeBytes))
+	s.trace.Record(obs.Event{Time: s.engine.Now(), Kind: obs.KindSend, From: int(from), To: int(to), Size: sizeBytes})
 	if s.down[from] || s.down[to] {
 		s.stats.MessagesDropped++
+		s.drop(from, to, sizeBytes, "down-endpoint")
 		return
 	}
 	if s.lossProb > 0 && s.engine.Rand().Float64() < s.lossProb {
 		s.stats.MessagesDropped++
+		s.drop(from, to, sizeBytes, "loss")
 		return
 	}
 	lat := eventsim.Time(s.latency(int(from), int(to)))
@@ -173,19 +203,32 @@ func (s *Sim) Send(from, to Addr, sizeBytes int, msg Message) {
 		arrive += ser
 	}
 	s.lastArrival[key] = arrive
+	sentAt := s.engine.Now()
 	s.engine.At(arrive, func() {
 		if s.down[to] {
 			s.stats.MessagesDropped++
+			s.drop(from, to, sizeBytes, "down-endpoint")
 			return
 		}
 		h, ok := s.handlers[to]
 		if !ok {
 			s.stats.MessagesDropped++
+			s.drop(from, to, sizeBytes, "no-handler")
 			return
 		}
 		s.stats.MessagesDelivered++
+		s.cDelivered.Inc()
+		oneWay := float64(arrive - sentAt)
+		s.hDelivery.Observe(oneWay)
+		s.trace.Record(obs.Event{Time: arrive, Kind: obs.KindDeliver, From: int(from), To: int(to), Size: sizeBytes, Latency: oneWay})
 		h(from, msg)
 	})
+}
+
+// drop records a dropped message in the observability layer.
+func (s *Sim) drop(from, to Addr, sizeBytes int, cause string) {
+	s.cDropped.Inc()
+	s.trace.Record(obs.Event{Time: s.engine.Now(), Kind: obs.KindDrop, From: int(from), To: int(to), Size: sizeBytes, Cause: cause})
 }
 
 // Now implements Network.
