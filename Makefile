@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench chaos obs ci
+.PHONY: all build test race vet bench bench-json profile chaos obs scale ci
 
 all: build
 
@@ -31,7 +31,29 @@ chaos:
 obs:
 	$(GO) run ./cmd/experiments -fig obs -trace 20 -seed 1
 
+# Scale study: the full protocol stack (pool + DHT + SOMO + ALM
+# planning) swept from the paper's 1200 hosts to 12000. Opt-in (never
+# part of "all"); same seed => byte-identical table for any -workers.
+scale:
+	$(GO) run ./cmd/experiments -fig scale -seed 1
+
+# Machine-readable bench trajectory: per-size wall time, allocations,
+# events/sec and peak RSS, written to BENCH_scale.json (schema
+# bench-scale/v1, documented in internal/experiments/scale.go). Bench
+# mode forces sequential cells so the measurements are honest.
+bench-json:
+	$(GO) run ./cmd/experiments -fig scale -seed 1 -benchjson BENCH_scale.json
+
+# CPU+heap profiles of the full figure set; inspect with
+# `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/experiments -fig all -seed 1 -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+
 # The obs smoke run doubles as an end-to-end check that metrics +
-# tracing assemble a dashboard out of the SOMO root snapshot.
+# tracing assemble a dashboard out of the SOMO root snapshot; the bench
+# smoke compiles and single-iterates every benchmark; the scale smoke
+# runs the paper-size cell (N=1200) of the scale study end to end.
 ci: build vet test race
 	$(GO) run ./cmd/experiments -fig obs -seed 1 > /dev/null
+	$(GO) test -bench=. -benchtime=1x -run '^$$' . > /dev/null
+	$(GO) run ./cmd/experiments -fig scale -hosts 1200 -scale-runtime 30 -seed 1 > /dev/null

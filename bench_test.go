@@ -34,6 +34,7 @@ import (
 // experiment (GNP 16/32 vs leafset 16/32) and reports the Leafset-32
 // median relative error.
 func BenchmarkFig4Coordinates(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig4(experiments.Fig4Options{
 			Hosts: 600, Pairs: 1500, Seed: int64(i + 1),
@@ -52,6 +53,7 @@ func BenchmarkFig4Coordinates(b *testing.B) {
 // BenchmarkFig5Bandwidth regenerates the Figure 5 bottleneck-bandwidth
 // estimation sweep and reports the uplink error at leafset 32.
 func BenchmarkFig5Bandwidth(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig5(experiments.Fig5Options{
 			Hosts: 1200, Seed: int64(i + 1),
@@ -71,6 +73,7 @@ func BenchmarkFig5Bandwidth(b *testing.B) {
 // improvement study (reduced runs) and reports Critical+adjust and
 // Leafset+adjust improvements at group size 20.
 func BenchmarkFig8SingleSession(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig8(experiments.Fig8Options{
 			Hosts: 1200, GroupSizes: []int{20, 100}, Runs: 3, Seed: int64(i + 1),
@@ -87,6 +90,7 @@ func BenchmarkFig8SingleSession(b *testing.B) {
 // multi-session study (reduced sweep) and reports the priority-1
 // improvement under the heaviest competition.
 func BenchmarkFig10Multisession(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig10(experiments.Fig10Options{
 			Hosts: 1200, SessionCounts: []int{20, 60}, Runs: 2, Seed: int64(i + 1),
@@ -103,6 +107,7 @@ func BenchmarkFig10Multisession(b *testing.B) {
 // BenchmarkSOMOAggregation regenerates the Section 3.2 SOMO study and
 // reports the unsynchronized gather staleness at 256 nodes, fanout 8.
 func BenchmarkSOMOAggregation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.SOMOExperiment(experiments.SOMOOptions{
 			Sizes: []int{256}, Fanouts: []int{8}, Seed: int64(i + 1),
@@ -117,6 +122,7 @@ func BenchmarkSOMOAggregation(b *testing.B) {
 // BenchmarkChurnRecovery runs the SOMO self-healing study and reports
 // the recovery time after a 15% mass crash.
 func BenchmarkChurnRecovery(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Churn(experiments.ChurnOptions{
 			Nodes: 96, CrashFractions: []float64{0.15}, Seed: int64(i + 1),
@@ -132,6 +138,7 @@ func BenchmarkChurnRecovery(b *testing.B) {
 
 // BenchmarkAblationRadius runs the radius-sweep ablation.
 func BenchmarkAblationRadius(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Ablations(experiments.AblationOptions{
 			Hosts: 600, GroupSize: 20, Runs: 3, Seed: int64(i + 1),
@@ -156,6 +163,7 @@ func benchPool(b *testing.B, hosts int) *p2ppool.Pool {
 
 // BenchmarkAMCast measures the baseline greedy planner at group 100.
 func BenchmarkAMCast(b *testing.B) {
+	b.ReportAllocs()
 	pool := benchPool(b, 600)
 	r := rand.New(rand.NewSource(1))
 	perm := r.Perm(600)
@@ -174,6 +182,7 @@ func BenchmarkAMCast(b *testing.B) {
 // BenchmarkPlanWithHelpers measures the critical-node planner with the
 // whole pool as candidates.
 func BenchmarkPlanWithHelpers(b *testing.B) {
+	b.ReportAllocs()
 	pool := benchPool(b, 600)
 	r := rand.New(rand.NewSource(2))
 	perm := r.Perm(600)
@@ -189,6 +198,7 @@ func BenchmarkPlanWithHelpers(b *testing.B) {
 
 // BenchmarkAdjust measures the tree-improvement pass on a 100-node tree.
 func BenchmarkAdjust(b *testing.B) {
+	b.ReportAllocs()
 	pool := benchPool(b, 600)
 	r := rand.New(rand.NewSource(3))
 	perm := r.Perm(600)
@@ -206,6 +216,7 @@ func BenchmarkAdjust(b *testing.B) {
 // BenchmarkLeafsetCoordinates measures the distributed coordinate solve
 // at 600 hosts.
 func BenchmarkLeafsetCoordinates(b *testing.B) {
+	b.ReportAllocs()
 	top := topology.DefaultConfig()
 	top.Hosts = 600
 	net, err := topology.Generate(top)
@@ -225,6 +236,7 @@ func BenchmarkLeafsetCoordinates(b *testing.B) {
 
 // BenchmarkGNPCoordinates measures the landmark-based solve.
 func BenchmarkGNPCoordinates(b *testing.B) {
+	b.ReportAllocs()
 	top := topology.DefaultConfig()
 	top.Hosts = 600
 	net, err := topology.Generate(top)
@@ -248,6 +260,7 @@ func BenchmarkGNPCoordinates(b *testing.B) {
 // BenchmarkDHTRouting measures routed-message throughput through a
 // 256-node ring with warm finger tables.
 func BenchmarkDHTRouting(b *testing.B) {
+	b.ReportAllocs()
 	engine := eventsim.New(1)
 	net := transport.NewSim(engine, transport.SimOptions{
 		Latency: func(a, c int) float64 { return 5 },
@@ -280,6 +293,7 @@ func BenchmarkDHTRouting(b *testing.B) {
 // BenchmarkSOMOGatherRound measures one full SOMO report wave over a
 // 256-node ring.
 func BenchmarkSOMOGatherRound(b *testing.B) {
+	b.ReportAllocs()
 	engine := eventsim.New(2)
 	net := transport.NewSim(engine, transport.SimOptions{
 		Latency: func(a, c int) float64 { return 5 },
@@ -307,6 +321,7 @@ func BenchmarkSOMOGatherRound(b *testing.B) {
 // BenchmarkPacketPairEstimation measures a full analytic estimation
 // round over 1200 hosts at leafset 32.
 func BenchmarkPacketPairEstimation(b *testing.B) {
+	b.ReportAllocs()
 	m, err := netmodel.New(1200, netmodel.Options{Seed: 6})
 	if err != nil {
 		b.Fatal(err)
@@ -321,6 +336,7 @@ func BenchmarkPacketPairEstimation(b *testing.B) {
 // BenchmarkTopologyGenerate measures paper-scale topology generation
 // including all-pairs router shortest paths.
 func BenchmarkTopologyGenerate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := topology.DefaultConfig()
 		cfg.Seed = int64(i)
@@ -334,12 +350,14 @@ func BenchmarkTopologyGenerate(b *testing.B) {
 // paper-scale build (600-router all-pairs Dijkstra) at a fixed seed,
 // with the worker pool at 1 and at NumCPU.
 func BenchmarkTopologyBuild(b *testing.B) {
+	b.ReportAllocs()
 	for _, workers := range []int{1, 0} {
 		name := "workers=1"
 		if workers == 0 {
 			name = "workers=NumCPU"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := topology.DefaultConfig()
 				cfg.Workers = workers
@@ -355,11 +373,13 @@ func BenchmarkTopologyBuild(b *testing.B) {
 // baseline greedy planner with incremental relaxation, across the
 // group sizes the figure sweeps cover.
 func BenchmarkAMCastPlan(b *testing.B) {
+	b.ReportAllocs()
 	pool := benchPool(b, 1200)
 	r := rand.New(rand.NewSource(9))
 	perm := r.Perm(1200)
 	for _, gs := range []int{20, 100, 200} {
 		b.Run(fmt.Sprintf("group=%d", gs), func(b *testing.B) {
+			b.ReportAllocs()
 			p := alm.Problem{
 				Root: perm[0], Members: perm[1:gs],
 				Latency: pool.TrueLatency, Degree: pool.DegreeBound,
@@ -378,6 +398,7 @@ func BenchmarkAMCastPlan(b *testing.B) {
 // scale: topology + all-pairs, capacities, coordinate solve, one
 // bandwidth probing round.
 func BenchmarkPoolBuild(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		top := topology.DefaultConfig()
 		if _, err := p2ppool.New(p2ppool.Options{Topology: top, Seed: 7}); err != nil {
@@ -389,6 +410,7 @@ func BenchmarkPoolBuild(b *testing.B) {
 // BenchmarkSchedulerStabilize measures a 30-session market-driven
 // scheduling wave on a 1200-host pool.
 func BenchmarkSchedulerStabilize(b *testing.B) {
+	b.ReportAllocs()
 	pool := benchPool(b, 1200)
 	r := rand.New(rand.NewSource(8))
 	b.ResetTimer()
@@ -413,6 +435,56 @@ func BenchmarkSchedulerStabilize(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEventQueue measures the event core's steady-state cost: a
+// schedule/fire/reset mix over a standing population of periodic
+// timers. The 4-ary concrete-typed heap plus Timer reuse makes the
+// loop allocation-free (asserted by eventsim's TestScheduleFireZeroAlloc).
+func BenchmarkEventQueue(b *testing.B) {
+	b.ReportAllocs()
+	engine := eventsim.New(1)
+	const standing = 1024
+	timers := make([]*eventsim.Timer, standing)
+	k := 0
+	for i := range timers {
+		i := i
+		timers[i] = engine.Schedule(eventsim.Time(1+i%64), func() {
+			timers[i].Reset(eventsim.Time(1 + (i+k)%64))
+		})
+	}
+	b.ResetTimer()
+	for k = 0; k < b.N; k++ {
+		engine.Step()
+	}
+}
+
+// BenchmarkTransportFanout measures one node sending to a 32-peer
+// leafset through the simulated network, including delivery. Pooled
+// delivery envelopes make the send path allocation-free (asserted by
+// transport's TestSendZeroAlloc).
+func BenchmarkTransportFanout(b *testing.B) {
+	b.ReportAllocs()
+	engine := eventsim.New(1)
+	net := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, c int) float64 { return 5 },
+	})
+	const peers = 32
+	for p := 0; p <= peers; p++ {
+		net.Attach(transport.Addr(p), func(from transport.Addr, msg transport.Message) {})
+	}
+	msg := transport.Message(fanoutMsg{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 1; p <= peers; p++ {
+			net.Send(0, transport.Addr(p), 64, msg)
+		}
+		engine.Run(peers)
+	}
+}
+
+type fanoutMsg struct{}
+
+func (fanoutMsg) Type() string { return "bench.fanout" }
 
 // --- helpers shared by benches ---
 

@@ -27,23 +27,58 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"p2ppool/internal/eventsim"
 	"p2ppool/internal/experiments"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all, or obs (not part of all)")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all, or obs/scale (not part of all)")
 		seed    = flag.Int64("seed", 1, "experiment seed (same seed => identical output)")
 		runs    = flag.Int("runs", 0, "override repetition count (0 = experiment default)")
 		hosts   = flag.Int("hosts", 0, "override pool size (0 = paper default 1200)")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		workers = flag.Int("workers", runtime.NumCPU(), "worker-pool size; output is identical for any value")
 		tracing = flag.Int("trace", 0, "print the last N hop-level trace events (obs figure only)")
+
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON = flag.String("benchjson", "", "write the scale study's bench trajectory (bench-scale/v1 JSON) to this file; enables per-cell wall/alloc measurement and forces sequential cells")
+		scaleRT   = flag.Int("scale-runtime", 0, "scale figure: simulated seconds per ring (0 = default 60)")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+		defer f.Close()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	want := strings.Split(*fig, ",")
 	has := func(k string) bool {
@@ -113,8 +148,9 @@ func main() {
 			return experiments.Ablations(experiments.AblationOptions{Hosts: *hosts, Runs: *runs, Seed: *seed, Workers: *workers})
 		})
 	}
-	// The obs study is opt-in only (exact name, never part of "all") so
-	// the classic figure set stays byte-identical run to run.
+	// The obs and scale studies are opt-in only (exact name, never part
+	// of "all") so the classic figure set stays byte-identical run to
+	// run.
 	for _, w := range want {
 		if w == "obs" {
 			run("obs study", func() (experiments.Result, error) {
@@ -123,8 +159,40 @@ func main() {
 			break
 		}
 	}
+	for _, w := range want {
+		if w == "scale" {
+			opts := experiments.ScaleOptions{
+				Seed:    *seed,
+				Workers: *workers,
+				Runtime: eventsim.Time(*scaleRT) * eventsim.Second,
+				Bench:   *benchJSON != "",
+			}
+			if *hosts > 0 {
+				// -hosts caps the sweep for smoke runs (e.g. CI at 1200).
+				opts.Sizes = []int{*hosts}
+			}
+			run("scale study", func() (experiments.Result, error) {
+				res, err := experiments.Scale(opts)
+				if err != nil {
+					return nil, err
+				}
+				if *benchJSON != "" {
+					out, err := res.BenchJSON()
+					if err != nil {
+						return nil, err
+					}
+					if err := os.WriteFile(*benchJSON, out, 0o644); err != nil {
+						return nil, err
+					}
+					fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
+				}
+				return res, nil
+			})
+			break
+		}
+	}
 	if len(results) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, obs, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, obs, scale, all)\n", *fig)
 		os.Exit(2)
 	}
 

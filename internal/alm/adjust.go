@@ -12,9 +12,10 @@ package alm
 // It returns the number of moves applied.
 func Adjust(t *Tree, lat LatencyFunc, bound DegreeFunc) int {
 	const maxMoves = 1000 // safety valve; convergence is monotone
+	var hsc heightScratch
 	moves := 0
 	for moves < maxMoves {
-		if !adjustOnce(t, lat, bound) {
+		if !adjustOnce(t, lat, bound, &hsc) {
 			break
 		}
 		moves++
@@ -24,22 +25,22 @@ func Adjust(t *Tree, lat LatencyFunc, bound DegreeFunc) int {
 
 // adjustOnce tries moves (a), (b), (c) in order on the current highest
 // node and applies the first that strictly lowers max height.
-func adjustOnce(t *Tree, lat LatencyFunc, bound DegreeFunc) bool {
+func adjustOnce(t *Tree, lat LatencyFunc, bound DegreeFunc, hsc *heightScratch) bool {
 	if t.Size() < 3 {
 		return false
 	}
-	cur := t.MaxHeight(lat)
-	x := t.HighestNode(lat)
+	cur := hsc.maxHeight(t, lat)
+	x := hsc.highestNode(t, lat)
 	if x == t.Root {
 		return false
 	}
-	if moveReparent(t, x, cur, lat, bound) {
+	if moveReparent(t, x, cur, lat, bound, hsc) {
 		return true
 	}
-	if moveSwapLeaf(t, x, cur, lat) {
+	if moveSwapLeaf(t, x, cur, lat, hsc) {
 		return true
 	}
-	if moveSwapSubtree(t, x, cur, lat) {
+	if moveSwapSubtree(t, x, cur, lat, hsc) {
 		return true
 	}
 	return false
@@ -47,7 +48,7 @@ func adjustOnce(t *Tree, lat LatencyFunc, bound DegreeFunc) bool {
 
 // moveReparent (a): attach the highest node under the parent that
 // minimizes the resulting max height, if strictly better.
-func moveReparent(t *Tree, x int, cur float64, lat LatencyFunc, bound DegreeFunc) bool {
+func moveReparent(t *Tree, x int, cur float64, lat LatencyFunc, bound DegreeFunc, hsc *heightScratch) bool {
 	oldParent, _ := t.Parent(x)
 	bestParent, bestMax := -1, cur
 	for _, w := range t.Nodes() {
@@ -58,7 +59,7 @@ func moveReparent(t *Tree, x int, cur float64, lat LatencyFunc, bound DegreeFunc
 			continue
 		}
 		t.reattach(x, w)
-		if m := t.MaxHeight(lat); m < bestMax {
+		if m := hsc.maxHeight(t, lat); m < bestMax {
 			bestMax, bestParent = m, w
 		}
 		t.reattach(x, oldParent)
@@ -73,7 +74,7 @@ func moveReparent(t *Tree, x int, cur float64, lat LatencyFunc, bound DegreeFunc
 // moveSwapLeaf (b): exchange the highest node's position with another
 // leaf, if strictly better. (The highest node is always a leaf since
 // latencies are positive.)
-func moveSwapLeaf(t *Tree, x int, cur float64, lat LatencyFunc) bool {
+func moveSwapLeaf(t *Tree, x int, cur float64, lat LatencyFunc, hsc *heightScratch) bool {
 	if len(t.Children(x)) > 0 {
 		return false
 	}
@@ -86,7 +87,7 @@ func moveSwapLeaf(t *Tree, x int, cur float64, lat LatencyFunc) bool {
 			continue // same parent: swap is a no-op
 		}
 		t.swapPositions(x, y)
-		if m := t.MaxHeight(lat); m < bestMax {
+		if m := hsc.maxHeight(t, lat); m < bestMax {
 			bestMax, bestLeaf = m, y
 		}
 		t.swapPositions(x, y)
@@ -100,7 +101,7 @@ func moveSwapLeaf(t *Tree, x int, cur float64, lat LatencyFunc) bool {
 
 // moveSwapSubtree (c): exchange the subtree rooted at the highest
 // node's parent with another subtree, if strictly better.
-func moveSwapSubtree(t *Tree, x int, cur float64, lat LatencyFunc) bool {
+func moveSwapSubtree(t *Tree, x int, cur float64, lat LatencyFunc, hsc *heightScratch) bool {
 	px, ok := t.Parent(x)
 	if !ok || px == t.Root {
 		return false
@@ -116,7 +117,7 @@ func moveSwapSubtree(t *Tree, x int, cur float64, lat LatencyFunc) bool {
 			continue
 		}
 		t.swapSubtrees(px, q)
-		if m := t.MaxHeight(lat); m < bestMax {
+		if m := hsc.maxHeight(t, lat); m < bestMax {
 			bestMax, bestQ = m, q
 		}
 		t.swapSubtrees(px, q)

@@ -41,6 +41,15 @@ type HelperSet struct {
 	RadiusSlack float64
 	// Scoring selects the candidate-ranking heuristic.
 	Scoring Scoring
+	// MetricScore declares that the scoring latency is a metric
+	// (symmetric, triangle inequality) — true for both built-in
+	// sources, topology shortest-path latency and coordinate distance.
+	// It lets the planner replace the per-critical-point full candidate
+	// scan with a range query on a root-anchored distance index; the
+	// pruning is exact under the metric properties, so the selected
+	// helpers (and the resulting tree) are identical either way. Leave
+	// it false for arbitrary latency functions.
+	MetricScore bool
 }
 
 // Scoring is the helper-ranking heuristic.
@@ -78,6 +87,57 @@ func PlanWithHelpers(p Problem, hs HelperSet) (*Tree, error) {
 	return plan(p, hs)
 }
 
+// planner carries the working state of one plan() run. Everything is
+// slice-indexed — members by position, attached tree nodes by attach
+// order — so the O(g²) relaxation inner loops touch compact arrays
+// instead of hashing node ids, and every scratch buffer lives for the
+// whole plan instead of being reallocated per iteration.
+type planner struct {
+	p  Problem
+	hs HelperSet
+	t  *Tree
+
+	// Unattached members, tracked by position in p.Members.
+	height    []float64 // planner's height estimate via parent
+	parent    []int     // best feasible parent (node id)
+	remaining []int     // member positions still unattached
+
+	// Attached tree nodes, in attach order (root first).
+	attIDs    []int
+	attHeight []float64
+	attFree   []int
+	attPos    map[int]int // node id -> index in the att* slices
+
+	// Helper search state.
+	candidates      []int // filtered + sorted candidate ids
+	scoreLat        LatencyFunc
+	shortlistRadius float64
+	index           []candKey // sorted by (key, h); nil when pruning is off
+	sibs            []int     // scratch: future siblings
+	pass            []scored  // scratch: shortlisted candidates
+}
+
+// candKey anchors a candidate at its scoring distance from the root;
+// by the triangle inequality every candidate within r of any node x
+// has |key(h) - key(x)| <= r, so an annulus around key(x) is a
+// superset of the radius ball and the full scan can be replaced by a
+// binary-searched slice walk.
+type candKey struct {
+	key float64
+	h   int
+}
+
+type scored struct {
+	h     int
+	score float64
+}
+
+// keyEps widens the annulus bounds to absorb floating-point rounding in
+// the key arithmetic; latencies are O(100 ms), so 1e-6 is far above any
+// accumulated ulp error while never admitting a meaningfully-far node
+// (the exact radius check still runs on every surviving candidate).
+const keyEps = 1e-6
+
 func plan(p Problem, hs HelperSet) (*Tree, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -86,83 +146,95 @@ func plan(p Problem, hs HelperSet) (*Tree, error) {
 		hs.MinDegree = DefaultMinDegree
 	}
 
-	t := NewTree(p.Root)
-	// height/parent: the planner's working estimate for unattached members.
-	height := make(map[int]float64, len(p.Members))
-	parent := make(map[int]int, len(p.Members))
-	remaining := make(map[int]bool, len(p.Members))
-	for _, m := range p.Members {
-		height[m] = p.Latency(p.Root, m)
-		parent[m] = p.Root
-		remaining[m] = true
+	pl := &planner{
+		p:  p,
+		hs: hs,
+		t:  NewTree(p.Root),
+	}
+	g := len(p.Members)
+	pl.height = make([]float64, g)
+	pl.parent = make([]int, g)
+	pl.remaining = make([]int, g)
+	for i, m := range p.Members {
+		pl.height[i] = p.Latency(p.Root, m)
+		pl.parent[i] = p.Root
+		pl.remaining[i] = i
 	}
 
-	inSession := make(map[int]bool, len(p.Members)+1)
+	pl.attIDs = make([]int, 1, g+1)
+	pl.attHeight = make([]float64, 1, g+1)
+	pl.attFree = make([]int, 1, g+1)
+	pl.attIDs[0] = p.Root
+	pl.attFree[0] = p.Degree(p.Root)
+	pl.attPos = make(map[int]int, g+1)
+	pl.attPos[p.Root] = 0
+
+	inSession := make(map[int]bool, g+1)
 	inSession[p.Root] = true
 	for _, m := range p.Members {
 		inSession[m] = true
 	}
-	// Candidate helpers, filtered once.
-	var candidates []int
+	// Candidate helpers, filtered once. Candidates outside the tree keep
+	// free degree == p.Degree (nothing attaches to a node not in the
+	// tree), so the MinDegree filter here is the only degree check the
+	// helper search needs.
 	for _, c := range hs.Candidates {
 		if !inSession[c] && p.Degree(c) >= hs.MinDegree {
-			candidates = append(candidates, c)
+			pl.candidates = append(pl.candidates, c)
 		}
 	}
-	sort.Ints(candidates) // deterministic iteration
+	sort.Ints(pl.candidates) // deterministic iteration
+	pl.buildHelperIndex()
 
-	// treeHeight tracks the planner's height for nodes in the tree.
-	treeHeight := map[int]float64{p.Root: 0}
-
-	free := func(v int) int { return p.Degree(v) - t.Degree(v) }
-
-	// added collects the nodes attached in one iteration — the only new
-	// parent candidates the incremental relaxation below must consider.
+	// added collects the att-positions of nodes attached in one
+	// iteration — the only new parent candidates the incremental
+	// relaxation below must consider.
 	var added []int
 
-	for len(remaining) > 0 {
-		// Find the unattached member with minimum height.
-		u, best := -1, math.Inf(1)
-		for m := range remaining {
-			if height[m] < best || (height[m] == best && (u == -1 || m < u)) {
-				u, best = m, height[m]
+	for len(pl.remaining) > 0 {
+		// Find the unattached member with minimum (height, id).
+		ri, u, best := -1, -1, math.Inf(1)
+		for i, pos := range pl.remaining {
+			m := p.Members[pos]
+			if pl.height[pos] < best || (pl.height[pos] == best && (u == -1 || m < u)) {
+				ri, u, best = i, m, pl.height[pos]
 			}
 		}
-		pu := parent[u]
-		if free(pu) <= 0 {
+		uPos := pl.remaining[ri]
+		pu := pl.parent[uPos]
+		if pl.free(pu) <= 0 {
 			// The working parent saturated since the last relaxation
 			// (can happen when a helper insertion consumed slots);
 			// re-relax u before attaching.
-			if ok := relaxOne(u, t, p, treeHeight, height, parent, free); !ok {
+			if !pl.relaxOne(uPos) {
 				return nil, fmt.Errorf("alm: no feasible parent for member %d (degree bounds too tight)", u)
 			}
-			pu = parent[u]
+			pu = pl.parent[uPos]
 		}
 
 		added = added[:0]
-		if len(candidates) > 0 && free(pu) == 1 {
+		if len(pl.candidates) > 0 && pl.free(pu) == 1 {
 			// Critical point: u would take pu's last slot. Try to
 			// recruit a helper to take it instead.
-			if h, ok := findHelper(u, pu, t, p, hs, candidates, remaining, parent, free); ok {
-				if err := t.Attach(h, pu); err != nil {
+			if h, ok := pl.findHelper(u, uPos, pu); ok {
+				if err := pl.attach(h, pu); err != nil {
 					return nil, err
 				}
-				treeHeight[h] = treeHeight[pu] + p.Latency(pu, h)
-				if err := t.Attach(u, h); err != nil {
+				if err := pl.attach(u, h); err != nil {
 					return nil, err
 				}
-				treeHeight[u] = treeHeight[h] + p.Latency(h, u)
-				added = append(added, h, u)
+				added = append(added, pl.attPos[h], pl.attPos[u])
 			}
 		}
 		if len(added) == 0 {
-			if err := t.Attach(u, pu); err != nil {
+			if err := pl.attach(u, pu); err != nil {
 				return nil, err
 			}
-			treeHeight[u] = treeHeight[pu] + p.Latency(pu, u)
-			added = append(added, u)
+			added = append(added, pl.attPos[u])
 		}
-		delete(remaining, u)
+		last := len(pl.remaining) - 1
+		pl.remaining[ri] = pl.remaining[last]
+		pl.remaining = pl.remaining[:last]
 
 		// Incremental relaxation. A full pass over the tree is not
 		// needed: attachments never change an existing node's height and
@@ -171,38 +243,60 @@ func plan(p Problem, hs HelperSet) (*Tree, error) {
 		// keeps a free slot. Only two updates can change a member's best:
 		// the nodes just attached become new candidates, and a cached
 		// parent that just saturated invalidates the cache. Comparisons
-		// use the same (height, node-id) order as relaxOne, so the
-		// resulting tree is identical to the full re-relaxation.
-		for v := range remaining {
-			for _, w := range added {
-				if free(w) <= 0 {
-					continue
-				}
-				h := treeHeight[w] + p.Latency(w, v)
-				if h < height[v] || (h == height[v] && w < parent[v]) {
-					height[v], parent[v] = h, w
+		// use the same (height, node-id) order as relaxOne — a running
+		// minimum under a total order — so both the added/member loop
+		// interchange here and the slice iteration produce the tree the
+		// full re-relaxation would.
+		for _, ap := range added {
+			if pl.attFree[ap] <= 0 {
+				continue
+			}
+			w, wh := pl.attIDs[ap], pl.attHeight[ap]
+			for _, pos := range pl.remaining {
+				h := wh + p.Latency(w, p.Members[pos])
+				if h < pl.height[pos] || (h == pl.height[pos] && w < pl.parent[pos]) {
+					pl.height[pos], pl.parent[pos] = h, w
 				}
 			}
-			if free(parent[v]) <= 0 {
-				if !relaxOne(v, t, p, treeHeight, height, parent, free) {
-					return nil, fmt.Errorf("alm: no feasible parent for member %d (degree bounds too tight)", v)
+		}
+		for _, pos := range pl.remaining {
+			if pl.free(pl.parent[pos]) <= 0 {
+				if !pl.relaxOne(pos) {
+					return nil, fmt.Errorf("alm: no feasible parent for member %d (degree bounds too tight)", p.Members[pos])
 				}
 			}
 		}
 	}
-	return t, nil
+	return pl.t, nil
 }
 
-// relaxOne recomputes v's best feasible attachment point over the
-// current tree. It reports false when no tree node has free degree.
-func relaxOne(v int, t *Tree, p Problem, treeHeight map[int]float64,
-	height map[int]float64, parent map[int]int, free func(int) int) bool {
+// free returns the remaining fan-out of an attached node.
+func (pl *planner) free(v int) int { return pl.attFree[pl.attPos[v]] }
+
+// attach puts v under pu in the tree and extends the attach-order state.
+func (pl *planner) attach(v, pu int) error {
+	if err := pl.t.Attach(v, pu); err != nil {
+		return err
+	}
+	pp := pl.attPos[pu]
+	pl.attFree[pp]--
+	pl.attPos[v] = len(pl.attIDs)
+	pl.attIDs = append(pl.attIDs, v)
+	pl.attHeight = append(pl.attHeight, pl.attHeight[pp]+pl.p.Latency(pu, v))
+	pl.attFree = append(pl.attFree, pl.p.Degree(v)-1) // the parent edge consumes one slot
+	return nil
+}
+
+// relaxOne recomputes member pos's best feasible attachment point over
+// the current tree. It reports false when no tree node has free degree.
+func (pl *planner) relaxOne(pos int) bool {
+	v := pl.p.Members[pos]
 	bestH, bestW := math.Inf(1), -1
-	for _, w := range t.Nodes() {
-		if free(w) <= 0 {
+	for i, w := range pl.attIDs {
+		if pl.attFree[i] <= 0 {
 			continue
 		}
-		h := treeHeight[w] + p.Latency(w, v)
+		h := pl.attHeight[i] + pl.p.Latency(w, v)
 		if h < bestH || (h == bestH && (bestW == -1 || w < bestW)) {
 			bestH, bestW = h, w
 		}
@@ -210,9 +304,44 @@ func relaxOne(v int, t *Tree, p Problem, treeHeight map[int]float64,
 	if bestW == -1 {
 		return false
 	}
-	height[v] = bestH
-	parent[v] = bestW
+	pl.height[pos] = bestH
+	pl.parent[pos] = bestW
 	return true
+}
+
+// buildHelperIndex precomputes the helper-search state: the effective
+// scoring latency, the shortlist radius, and — when the radius is
+// positive and the score is a metric — the root-anchored candidate
+// index that findHelper range-queries instead of scanning every
+// candidate per critical point.
+func (pl *planner) buildHelperIndex() {
+	pl.scoreLat = pl.hs.ScoreLatency
+	if pl.scoreLat == nil {
+		pl.scoreLat = pl.p.Latency
+	}
+	pl.shortlistRadius = pl.hs.Radius
+	if pl.hs.ScoreLatency != nil {
+		slack := pl.hs.RadiusSlack
+		if slack <= 0 {
+			slack = 2
+		}
+		if slack > 1 {
+			pl.shortlistRadius *= slack
+		}
+	}
+	if len(pl.candidates) == 0 || pl.shortlistRadius <= 0 || !pl.hs.MetricScore {
+		return
+	}
+	pl.index = make([]candKey, len(pl.candidates))
+	for i, h := range pl.candidates {
+		pl.index[i] = candKey{key: pl.scoreLat(h, pl.p.Root), h: h}
+	}
+	sort.Slice(pl.index, func(i, j int) bool {
+		if pl.index[i].key != pl.index[j].key {
+			return pl.index[i].key < pl.index[j].key
+		}
+		return pl.index[i].h < pl.index[j].h
+	})
 }
 
 // findHelper implements the paper's helper-selection heuristic: among
@@ -223,86 +352,69 @@ func relaxOne(v int, t *Tree, p Problem, treeHeight map[int]float64,
 //
 // where the future siblings are the unattached members whose current
 // best parent is parent(u) (they would become h's children).
-func findHelper(u, pu int, t *Tree, p Problem, hs HelperSet,
-	candidates []int, remaining map[int]bool, parent map[int]int, free func(int) int) (int, bool) {
-
+func (pl *planner) findHelper(u, uPos, pu int) (int, bool) {
 	// Future siblings: u plus every remaining member pointing at pu.
-	sibs := []int{u}
-	for v := range remaining {
-		if v != u && parent[v] == pu {
-			sibs = append(sibs, v)
+	pl.sibs = pl.sibs[:0]
+	pl.sibs = append(pl.sibs, u)
+	for _, pos := range pl.remaining {
+		if pos != uPos && pl.parent[pos] == pu {
+			pl.sibs = append(pl.sibs, pl.p.Members[pos])
 		}
 	}
 
-	scoreLat := hs.ScoreLatency
-	if scoreLat == nil {
-		scoreLat = p.Latency
+	pl.pass = pl.pass[:0]
+	if pl.index != nil {
+		// Annulus query: candidates with scoreLat(h, pu) < radius all
+		// satisfy |key(h) - key(pu)| < radius (triangle inequality), so
+		// only that key range needs the exact check.
+		kpu := pl.scoreLat(pu, pl.p.Root)
+		lo := sort.Search(len(pl.index), func(i int) bool {
+			return pl.index[i].key >= kpu-pl.shortlistRadius-keyEps
+		})
+		hi := kpu + pl.shortlistRadius + keyEps
+		for i := lo; i < len(pl.index) && pl.index[i].key <= hi; i++ {
+			pl.tryCandidate(pl.index[i].h, pu)
+		}
+	} else {
+		for _, h := range pl.candidates {
+			pl.tryCandidate(h, pu)
+		}
 	}
-	type scored struct {
-		h     int
-		score float64
-	}
-	shortlistRadius := hs.Radius
-	if hs.ScoreLatency != nil {
-		slack := hs.RadiusSlack
-		if slack <= 0 {
-			slack = 2
-		}
-		if slack > 1 {
-			shortlistRadius *= slack
-		}
-	}
-	var pass []scored
-	for _, h := range candidates {
-		if t.Contains(h) || free(h) < hs.MinDegree {
-			continue
-		}
-		lp := scoreLat(h, pu)
-		if shortlistRadius > 0 && lp >= shortlistRadius {
-			continue // condition 3: avoid far-away "junk" nodes
-		}
-		maxSib := 0.0
-		if hs.Scoring == ScorePaper {
-			for _, v := range sibs {
-				if l := scoreLat(h, v); l > maxSib {
-					maxSib = l
-				}
-			}
-		}
-		pass = append(pass, scored{h: h, score: lp + maxSib}) // condition 1
-	}
-	if len(pass) == 0 {
+	if len(pl.pass) == 0 {
 		return 0, false
 	}
-	sort.Slice(pass, func(i, j int) bool {
-		if pass[i].score != pass[j].score {
-			return pass[i].score < pass[j].score
+	// (score, h) is a strict total order — candidate ids are unique —
+	// so the sorted shortlist is identical whatever order tryCandidate
+	// appended in; index-order and id-order scans select the same helper.
+	sort.Slice(pl.pass, func(i, j int) bool {
+		if pl.pass[i].score != pl.pass[j].score {
+			return pl.pass[i].score < pl.pass[j].score
 		}
-		return pass[i].h < pass[j].h
+		return pl.pass[i].h < pl.pass[j].h
 	})
-	if hs.ScoreLatency == nil {
-		return pass[0].h, true
+	if pl.hs.ScoreLatency == nil {
+		return pl.pass[0].h, true
 	}
 	// Vicinity was judged on estimates, which only narrows the pool to
 	// a shortlist; the task manager then contacts the shortlisted
 	// candidates (it must talk to a helper to reserve it anyway),
 	// measures them, and picks the best by measured score among those
 	// that truly honor the radius.
-	verify := hs.VerifyTop
+	verify := pl.hs.VerifyTop
 	if verify <= 0 {
 		verify = 16
 	}
 	bestScore, best := math.Inf(1), -1
-	for i := 0; i < len(pass) && i < verify; i++ {
-		h := pass[i].h
-		lp := p.Latency(h, pu)
-		if hs.Radius > 0 && lp >= hs.Radius {
+	for i := 0; i < len(pl.pass) && i < verify; i++ {
+		h := pl.pass[i].h
+		lp := pl.p.Latency(h, pu)
+		if pl.hs.Radius > 0 && lp >= pl.hs.Radius {
 			continue
 		}
 		maxSib := 0.0
-		if hs.Scoring == ScorePaper {
-			for _, v := range sibs {
-				if l := p.Latency(h, v); l > maxSib {
+		if pl.hs.Scoring == ScorePaper {
+			for _, v := range pl.sibs {
+				if l := pl.p.Latency(h, v); l > maxSib {
 					maxSib = l
 				}
 			}
@@ -315,4 +427,25 @@ func findHelper(u, pu int, t *Tree, p Problem, hs HelperSet,
 		return 0, false
 	}
 	return best, true
+}
+
+// tryCandidate applies the shortlist conditions to one candidate and
+// appends it to the pass list when it qualifies.
+func (pl *planner) tryCandidate(h, pu int) {
+	if pl.t.Contains(h) {
+		return
+	}
+	lp := pl.scoreLat(h, pu)
+	if pl.shortlistRadius > 0 && lp >= pl.shortlistRadius {
+		return // condition 3: avoid far-away "junk" nodes
+	}
+	maxSib := 0.0
+	if pl.hs.Scoring == ScorePaper {
+		for _, v := range pl.sibs {
+			if l := pl.scoreLat(h, v); l > maxSib {
+				maxSib = l
+			}
+		}
+	}
+	pl.pass = append(pl.pass, scored{h: h, score: lp + maxSib}) // condition 1
 }

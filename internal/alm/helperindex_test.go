@@ -1,0 +1,71 @@
+package alm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// euclidLatency places n nodes on a plane and returns their distances —
+// a genuine metric, the precondition for HelperSet.MetricScore.
+func euclidLatency(n int, scale float64, r *rand.Rand) LatencyFunc {
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{x: scale * r.Float64(), y: scale * r.Float64()}
+	}
+	return func(a, b int) float64 {
+		dx, dy := pts[a].x-pts[b].x, pts[a].y-pts[b].y
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+}
+
+// TestMetricIndexMatchesFullScan pins the tentpole pruning contract:
+// with a metric scoring latency, the root-anchored candidate index must
+// select exactly the helpers a full candidate scan selects — so the
+// planned trees are identical with MetricScore on and off. Covers both
+// knowledge modes: scoring on the tree latency itself (Critical) and on
+// a separate estimate function (Leafset-style, with verify stage).
+func TestMetricIndexMatchesFullScan(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 60 + r.Intn(120)
+		lat := euclidLatency(n, 300, r)
+		// A second metric standing in for coordinate estimates: the same
+		// plane, mildly rescaled (still a metric).
+		est := func(a, b int) float64 { return 1.1 * lat(a, b) }
+		deg := make([]int, n)
+		for i := range deg {
+			deg[i] = 2 + r.Intn(8)
+		}
+		perm := r.Perm(n)
+		groupSize := 10 + r.Intn(n/3)
+		p := Problem{
+			Root:    perm[0],
+			Members: perm[1:groupSize],
+			Latency: lat,
+			Degree:  func(v int) int { return deg[v] },
+		}
+		radius := 40 + 80*r.Float64()
+		hss := []HelperSet{
+			{Candidates: perm[groupSize:], Radius: radius},
+			{Candidates: perm[groupSize:], Radius: radius, Scoring: ScoreNearestParent},
+			{Candidates: perm[groupSize:], Radius: radius, ScoreLatency: est},
+			{Candidates: perm[groupSize:], Radius: radius, ScoreLatency: est, VerifyTop: 4},
+		}
+		for hi, hs := range hss {
+			full, err1 := plan(p, hs)
+			hs.MetricScore = true
+			pruned, err2 := plan(p, hs)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("trial %d hs %d: error mismatch: full=%v pruned=%v", trial, hi, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if !sameTree(full, pruned) {
+				t.Errorf("trial %d hs %d: indexed helper search changed the tree", trial, hi)
+			}
+		}
+	}
+}

@@ -52,14 +52,14 @@ func refPlan(p Problem, hs HelperSet) (*Tree, error) {
 		}
 		pu := parent[u]
 		if free(pu) <= 0 {
-			if ok := relaxOne(u, t, p, treeHeight, height, parent, free); !ok {
+			if ok := refRelaxOne(u, t, p, treeHeight, height, parent, free); !ok {
 				return nil, errNoParent(u)
 			}
 			pu = parent[u]
 		}
 		attached := false
 		if len(candidates) > 0 && free(pu) == 1 {
-			if h, ok := findHelper(u, pu, t, p, hs, candidates, remaining, parent, free); ok {
+			if h, ok := refFindHelper(u, pu, t, p, hs, candidates, remaining, parent, free); ok {
 				if err := t.Attach(h, pu); err != nil {
 					return nil, err
 				}
@@ -79,12 +79,120 @@ func refPlan(p Problem, hs HelperSet) (*Tree, error) {
 		}
 		delete(remaining, u)
 		for v := range remaining {
-			if !relaxOne(v, t, p, treeHeight, height, parent, free) {
+			if !refRelaxOne(v, t, p, treeHeight, height, parent, free) {
 				return nil, errNoParent(v)
 			}
 		}
 	}
 	return t, nil
+}
+
+// refRelaxOne is the pre-rewrite map-based relaxation: v's best feasible
+// attachment point over the whole tree.
+func refRelaxOne(v int, t *Tree, p Problem, treeHeight map[int]float64,
+	height map[int]float64, parent map[int]int, free func(int) int) bool {
+	bestH, bestW := math.Inf(1), -1
+	for _, w := range t.Nodes() {
+		if free(w) <= 0 {
+			continue
+		}
+		h := treeHeight[w] + p.Latency(w, v)
+		if h < bestH || (h == bestH && (bestW == -1 || w < bestW)) {
+			bestH, bestW = h, w
+		}
+	}
+	if bestW == -1 {
+		return false
+	}
+	height[v] = bestH
+	parent[v] = bestW
+	return true
+}
+
+// refFindHelper is the pre-rewrite helper search: a full scan of every
+// candidate per critical point. The planner's indexed search must pick
+// the same helper.
+func refFindHelper(u, pu int, t *Tree, p Problem, hs HelperSet,
+	candidates []int, remaining map[int]bool, parent map[int]int, free func(int) int) (int, bool) {
+
+	sibs := []int{u}
+	for v := range remaining {
+		if v != u && parent[v] == pu {
+			sibs = append(sibs, v)
+		}
+	}
+	scoreLat := hs.ScoreLatency
+	if scoreLat == nil {
+		scoreLat = p.Latency
+	}
+	shortlistRadius := hs.Radius
+	if hs.ScoreLatency != nil {
+		slack := hs.RadiusSlack
+		if slack <= 0 {
+			slack = 2
+		}
+		if slack > 1 {
+			shortlistRadius *= slack
+		}
+	}
+	var pass []scored
+	for _, h := range candidates {
+		if t.Contains(h) || free(h) < hs.MinDegree {
+			continue
+		}
+		lp := scoreLat(h, pu)
+		if shortlistRadius > 0 && lp >= shortlistRadius {
+			continue
+		}
+		maxSib := 0.0
+		if hs.Scoring == ScorePaper {
+			for _, v := range sibs {
+				if l := scoreLat(h, v); l > maxSib {
+					maxSib = l
+				}
+			}
+		}
+		pass = append(pass, scored{h: h, score: lp + maxSib})
+	}
+	if len(pass) == 0 {
+		return 0, false
+	}
+	sort.Slice(pass, func(i, j int) bool {
+		if pass[i].score != pass[j].score {
+			return pass[i].score < pass[j].score
+		}
+		return pass[i].h < pass[j].h
+	})
+	if hs.ScoreLatency == nil {
+		return pass[0].h, true
+	}
+	verify := hs.VerifyTop
+	if verify <= 0 {
+		verify = 16
+	}
+	bestScore, best := math.Inf(1), -1
+	for i := 0; i < len(pass) && i < verify; i++ {
+		h := pass[i].h
+		lp := p.Latency(h, pu)
+		if hs.Radius > 0 && lp >= hs.Radius {
+			continue
+		}
+		maxSib := 0.0
+		if hs.Scoring == ScorePaper {
+			for _, v := range sibs {
+				if l := p.Latency(h, v); l > maxSib {
+					maxSib = l
+				}
+			}
+		}
+		if score := lp + maxSib; score < bestScore {
+			bestScore, best = score, h
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	return best, true
 }
 
 type errNoParent int

@@ -99,6 +99,7 @@ func Repair(t *Tree, dead []int, lat LatencyFunc, bound DegreeFunc) (RepairResul
 		return live[i] < live[j]
 	})
 
+	var hsc heightScratch
 	for _, o := range live {
 		// Candidate parents are the nodes reachable from the root via
 		// children lists — Nodes() would also report descendants of
@@ -112,7 +113,7 @@ func Repair(t *Tree, dead []int, lat LatencyFunc, bound DegreeFunc) (RepairResul
 			}
 			t.parent[o] = w
 			t.children[w] = append(t.children[w], o)
-			if m := t.MaxHeight(lat); m < bestMax {
+			if m := hsc.maxHeight(t, lat); m < bestMax {
 				bestMax, bestW = m, w
 			}
 			t.children[w] = removeOne(t.children[w], o)

@@ -165,6 +165,62 @@ func (t *Tree) MaxHeight(lat LatencyFunc) float64 {
 	return max
 }
 
+// heightScratch reuses the BFS map and queue across repeated height
+// evaluations on trees of similar shape. Adjust and Repair evaluate
+// MaxHeight once per candidate move — hundreds of evaluations per
+// call — and allocating a fresh map for each dominated their cost.
+// The max/argmax reductions below are order-independent (ties broken
+// by node id), so results match the allocating Tree methods exactly.
+type heightScratch struct {
+	h     map[int]float64
+	queue []int
+}
+
+// heights fills s.h with every reachable node's height; the returned
+// map is valid until the next call on s.
+func (s *heightScratch) heights(t *Tree, lat LatencyFunc) map[int]float64 {
+	if s.h == nil {
+		s.h = make(map[int]float64, t.Size())
+	} else {
+		clear(s.h)
+	}
+	q := s.queue[:0]
+	s.h[t.Root] = 0
+	q = append(q, t.Root)
+	for head := 0; head < len(q); head++ {
+		v := q[head]
+		hv := s.h[v]
+		for _, c := range t.children[v] {
+			s.h[c] = hv + lat(v, c)
+			q = append(q, c)
+		}
+	}
+	s.queue = q
+	return s.h
+}
+
+// maxHeight is Tree.MaxHeight on reused buffers.
+func (s *heightScratch) maxHeight(t *Tree, lat LatencyFunc) float64 {
+	max := 0.0
+	for _, h := range s.heights(t, lat) {
+		if h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// highestNode is Tree.HighestNode on reused buffers.
+func (s *heightScratch) highestNode(t *Tree, lat LatencyFunc) int {
+	best, bestH := t.Root, -1.0
+	for v, h := range s.heights(t, lat) {
+		if h > bestH || (h == bestH && v < best) {
+			best, bestH = v, h
+		}
+	}
+	return best
+}
+
 // HighestNode returns the node with the largest height under lat (the
 // root for a singleton tree).
 func (t *Tree) HighestNode(lat LatencyFunc) int {

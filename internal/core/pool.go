@@ -370,6 +370,10 @@ func (p *Pool) PlanSession(root int, members []int, opt PlanOptions) (*alm.Tree,
 		Scoring:     opt.Scoring,
 		VerifyTop:   opt.VerifyTop,
 		RadiusSlack: opt.RadiusSlack,
+		// Both vicinity-knowledge sources here are metrics — topology
+		// shortest-path latency and Euclidean coordinate distance — so
+		// the planner may use its indexed candidate search.
+		MetricScore: true,
 	}
 	if opt.Mode == Leafset {
 		hs.ScoreLatency = p.CoordLatency
@@ -402,6 +406,10 @@ func (p *Pool) PlanSession(root int, members []int, opt PlanOptions) (*alm.Tree,
 func (p *Pool) NewScheduler(cfg sched.Config) *sched.Scheduler {
 	if cfg.ScoreLatency == nil {
 		cfg.ScoreLatency = p.CoordLatency
+		// Coordinate distance is Euclidean and the pool's tree latency
+		// is shortest-path — both metrics, so indexed helper search is
+		// exact here.
+		cfg.MetricScore = true
 	}
 	return sched.NewScheduler(p.Degrees, p.TrueLatency, cfg)
 }

@@ -467,11 +467,25 @@ func (n *Node) heartbeatTick() {
 		SentAt:  n.net.Now(),
 		Entries: n.gossipSample(),
 	}
-	for _, e := range n.sorted {
-		hb.Payload = n.collectPayloads(e)
-		n.send(e, n.heartbeatSize(hb), hb)
-		n.stats.HeartbeatsSent++
-		n.cHeartbeats.Inc()
+	if len(n.gossips) == 0 {
+		// No per-peer payloads: every leafset member gets the identical
+		// message, so box it into the transport interface once instead
+		// of once per peer. At N nodes × L leafset members per tick this
+		// is the largest steady-state allocation in the whole simulator.
+		var msg transport.Message = hb
+		size := n.heartbeatSize(hb)
+		for _, e := range n.sorted {
+			n.send(e, size, msg)
+			n.stats.HeartbeatsSent++
+			n.cHeartbeats.Inc()
+		}
+	} else {
+		for _, e := range n.sorted {
+			hb.Payload = n.collectPayloads(e)
+			n.send(e, n.heartbeatSize(hb), hb)
+			n.stats.HeartbeatsSent++
+			n.cHeartbeats.Inc()
+		}
 	}
 	n.probeOneFinger(hb)
 	n.probeOneSuspect()
@@ -660,8 +674,16 @@ func (n *Node) onJoinReply(m joinReply) {
 	// Announce ourselves to our new leafset immediately rather than
 	// waiting for the next heartbeat tick.
 	hb := heartbeat{From: n.self, SentAt: n.net.Now(), Entries: n.gossipSample()}
-	for _, e := range n.sorted {
-		hb.Payload = n.collectPayloads(e)
-		n.send(e, n.heartbeatSize(hb), hb)
+	if len(n.gossips) == 0 {
+		var msg transport.Message = hb // identical for every peer: box once
+		size := n.heartbeatSize(hb)
+		for _, e := range n.sorted {
+			n.send(e, size, msg)
+		}
+	} else {
+		for _, e := range n.sorted {
+			hb.Payload = n.collectPayloads(e)
+			n.send(e, n.heartbeatSize(hb), hb)
+		}
 	}
 }

@@ -1,0 +1,242 @@
+package eventsim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEvent / refQueue form a container/heap reference model of the
+// engine's queue semantics: total order on (at, seq), generation
+// tracking for Stop/Reset orphaning. The engine's concrete-typed heap
+// and batch-pop machinery must reproduce this model's fire order
+// exactly — same-time ties included.
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+	gen uint64
+}
+
+type refQueue []refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x interface{}) { *q = append(*q, x.(refEvent)) }
+func (q *refQueue) Pop() interface{} {
+	old := *q
+	x := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return x
+}
+
+type refEngine struct {
+	now     Time
+	seq     uint64
+	queue   refQueue
+	gen     []uint64
+	pending []bool
+	fired   []int
+}
+
+func (r *refEngine) addTimer() int {
+	r.gen = append(r.gen, 0)
+	r.pending = append(r.pending, false)
+	return len(r.gen) - 1
+}
+
+func (r *refEngine) schedule(id int, delay Time) {
+	r.seq++
+	r.pending[id] = true
+	heap.Push(&r.queue, refEvent{at: r.now + delay, seq: r.seq, id: id, gen: r.gen[id]})
+}
+
+func (r *refEngine) stop(id int) bool {
+	if !r.pending[id] {
+		return false
+	}
+	r.pending[id] = false
+	r.gen[id]++
+	return true
+}
+
+func (r *refEngine) reset(id int, delay Time) bool {
+	was := r.pending[id]
+	r.gen[id]++
+	r.schedule(id, delay)
+	return was
+}
+
+func (r *refEngine) step() bool {
+	for r.queue.Len() > 0 {
+		ev := heap.Pop(&r.queue).(refEvent)
+		if ev.gen != r.gen[ev.id] {
+			continue // orphaned by stop/reset
+		}
+		r.now = ev.at
+		r.pending[ev.id] = false
+		r.fired = append(r.fired, ev.id)
+		return true
+	}
+	return false
+}
+
+// TestDifferentialAgainstContainerHeap drives the engine and the
+// reference model with an identical random stream of schedule / stop /
+// reset / step operations. Delays are quantized to a handful of values
+// so same-timestamp collisions (and thus seq tie-breaks and batch pops)
+// dominate, and the fired sequences must match event for event.
+func TestDifferentialAgainstContainerHeap(t *testing.T) {
+	for trial := int64(0); trial < 10; trial++ {
+		r := rand.New(rand.NewSource(100 + trial))
+		e := New(1)
+		ref := &refEngine{}
+		var timers []*Timer
+		var got []int
+		newTimer := func() {
+			id := ref.addTimer()
+			delay := Time(r.Intn(4))
+			timers = append(timers, e.Schedule(delay, func() { got = append(got, id) }))
+			ref.schedule(id, delay)
+		}
+		newTimer() // both sides non-empty
+		for op := 0; op < 5000; op++ {
+			switch r.Intn(10) {
+			case 0, 1, 2, 3:
+				newTimer()
+			case 4:
+				id := r.Intn(len(timers))
+				if gotStop, want := timers[id].Stop(), ref.stop(id); gotStop != want {
+					t.Fatalf("trial %d op %d: Stop(%d) = %v, want %v", trial, op, id, gotStop, want)
+				}
+			case 5, 6:
+				id := r.Intn(len(timers))
+				delay := Time(r.Intn(4))
+				if gotReset, want := timers[id].Reset(delay), ref.reset(id, delay); gotReset != want {
+					t.Fatalf("trial %d op %d: Reset(%d) = %v, want %v", trial, op, id, gotReset, want)
+				}
+			default:
+				if gotStep, want := e.Step(), ref.step(); gotStep != want {
+					t.Fatalf("trial %d op %d: Step = %v, want %v", trial, op, gotStep, want)
+				}
+			}
+			if e.Now() != ref.now {
+				t.Fatalf("trial %d op %d: now = %v, want %v", trial, op, e.Now(), ref.now)
+			}
+		}
+		for e.Step() {
+			if !ref.step() {
+				t.Fatalf("trial %d: engine fired more events than reference", trial)
+			}
+		}
+		if ref.step() {
+			t.Fatalf("trial %d: reference fired more events than engine", trial)
+		}
+		if len(got) != len(ref.fired) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(got), len(ref.fired))
+		}
+		for i := range got {
+			if got[i] != ref.fired[i] {
+				t.Fatalf("trial %d: fire %d = timer %d, want timer %d", trial, i, got[i], ref.fired[i])
+			}
+		}
+	}
+}
+
+// TestChurnFromCallbacks is the fuzz-style churn test: callbacks
+// reschedule themselves, cancel and reset each other, and spawn Runner
+// events mid-batch. The engine must keep time monotone, fire the
+// expected number of live events, and drain completely.
+func TestChurnFromCallbacks(t *testing.T) {
+	for trial := int64(0); trial < 5; trial++ {
+		e := New(trial)
+		r := rand.New(rand.NewSource(200 + trial))
+		const n = 50
+		timers := make([]*Timer, n)
+		fires := 0
+		runnerFires := 0
+		var spawn func(id int, budget int) func()
+		spawn = func(id int, budget int) func() {
+			return func() {
+				fires++
+				if budget <= 0 {
+					return
+				}
+				switch r.Intn(4) {
+				case 0: // reschedule self
+					timers[id].Reset(Time(r.Intn(3)))
+					timers[id].fn = spawn(id, budget-1)
+				case 1: // cancel a random peer
+					timers[r.Intn(n)].Stop()
+				case 2: // reset a random peer into this very timestamp
+					v := r.Intn(n)
+					timers[v].Reset(0)
+					timers[v].fn = spawn(v, budget-1)
+				case 3: // zero-alloc one-shot landing mid-batch
+					e.CallAfter(0, runnerFunc(func() { runnerFires++ }))
+				}
+			}
+		}
+		for i := range timers {
+			timers[i] = e.Schedule(Time(r.Intn(3)), nil)
+			timers[i].fn = spawn(i, 20)
+		}
+		last := e.Now()
+		for e.Step() {
+			if e.Now() < last {
+				t.Fatalf("trial %d: time went backwards: %v -> %v", trial, last, e.Now())
+			}
+			last = e.Now()
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("trial %d: %d events pending after drain", trial, e.Pending())
+		}
+		if uint64(fires+runnerFires) != e.Processed() {
+			t.Fatalf("trial %d: fired %d+%d events, engine processed %d", trial, fires, runnerFires, e.Processed())
+		}
+	}
+}
+
+type runnerFunc func()
+
+func (f runnerFunc) RunEvent() { f() }
+
+// countRunner is a pointer Runner like the pooled transport deliveries;
+// scheduling it must not allocate.
+type countRunner struct{ n int }
+
+func (c *countRunner) RunEvent() { c.n++ }
+
+// TestScheduleFireZeroAlloc pins the steady-state allocation contract:
+// once the queue's backing arrays have grown, Reset+fire and
+// CallAfter+fire allocate nothing.
+func TestScheduleFireZeroAlloc(t *testing.T) {
+	e := New(1)
+	tm := e.Schedule(0, func() {})
+	c := &countRunner{}
+	// Warm up backing arrays (queue and batch buffer).
+	for i := 0; i < 64; i++ {
+		e.CallAfter(0, c)
+	}
+	for e.Step() {
+	}
+
+	if allocs := testing.AllocsPerRun(1000, func() {
+		tm.Reset(1)
+		e.Step()
+	}); allocs != 0 {
+		t.Errorf("Reset+Step allocates %.2f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		e.CallAfter(1, c)
+		e.Step()
+	}); allocs != 0 {
+		t.Errorf("CallAfter+Step allocates %.2f/op, want 0", allocs)
+	}
+}

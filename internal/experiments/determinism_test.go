@@ -87,6 +87,15 @@ func TestSOMOWorkerDeterminism(t *testing.T) {
 	})
 }
 
+func TestScaleWorkerDeterminism(t *testing.T) {
+	assertWorkerInvariant(t, func(w int) (Result, error) {
+		return Scale(ScaleOptions{
+			Sizes: []int{200, 400}, Runtime: 30 * eventsim.Second, GroupSize: 20,
+			Seed: 1, Workers: w,
+		})
+	})
+}
+
 func TestAblationsWorkerDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweep is slow; covered by the long run")

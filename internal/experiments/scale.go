@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"p2ppool/internal/core"
+	"p2ppool/internal/dht"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/par"
+	"p2ppool/internal/somo"
+	"p2ppool/internal/topology"
+	"p2ppool/internal/transport"
+)
+
+// ScaleOptions parameterizes the scale study: the same protocol stack
+// the paper evaluates at 1,200 hosts, swept an order of magnitude up.
+// The point is the paper's self-scaling claim — per-node overhead is
+// O(log N) — demonstrated rather than asserted: paper-shape metrics
+// (SOMO gather staleness, fig-8-style ALM improvement) must stay flat
+// while N grows 10×, and the harness's own cost (events/sec, allocs)
+// must not degrade super-linearly.
+type ScaleOptions struct {
+	// Sizes are the pool sizes to sweep (default 1200, 3000, 6000,
+	// 12000 — the paper's population and 2.5×/5×/10×).
+	Sizes []int
+	// Runtime is how long each ring runs (default 60 simulated
+	// seconds — 12 SOMO reporting intervals, enough for records to
+	// propagate depth+1 levels with margin).
+	Runtime eventsim.Time
+	// ReportInterval is SOMO's T (default 5 s, the somo default).
+	ReportInterval eventsim.Time
+	// GroupSize is the ALM session size for the improvement probe
+	// (default 100, the mid-size group of Figure 8).
+	GroupSize int
+	Seed      int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// table output is identical for any worker count.
+	Workers int
+	// Bench additionally collects wall-clock, allocation and events/sec
+	// measurements per cell. Cells then run sequentially (one at a time)
+	// so the numbers are honest; the bench fields never appear in
+	// Tables() output — they go to BenchJSON — so determinism contracts
+	// are unaffected.
+	Bench bool
+}
+
+func (o ScaleOptions) withDefaults() ScaleOptions {
+	if len(o.Sizes) == 0 {
+		o.Sizes = []int{1200, 3000, 6000, 12000}
+	}
+	if o.Runtime <= 0 {
+		o.Runtime = 60 * eventsim.Second
+	}
+	if o.ReportInterval <= 0 {
+		o.ReportInterval = 5 * eventsim.Second
+	}
+	if o.GroupSize <= 0 {
+		o.GroupSize = 100
+	}
+	return o
+}
+
+// ScaleRow is one pool size's measurements. The first group of fields
+// is deterministic (a pure function of the seed) and appears in
+// Tables(); the Bench* fields are wall-clock measurements filled only
+// when ScaleOptions.Bench is set, reported via BenchJSON.
+type ScaleRow struct {
+	Hosts int
+	// Events is the number of simulation events the cell's ring
+	// processed — deterministic, and the denominator-independent half
+	// of the events/sec trajectory.
+	Events uint64
+	// Depth is the maximum SOMO representative level observed.
+	Depth int
+	// Records is the number of members captured in the root snapshot.
+	Records int
+	// Staleness is the worst record age in the root snapshot (ms); the
+	// paper bounds it by ~(depth+1)*T, which grows O(log N) — near-flat.
+	Staleness float64
+	// MsgsPerNodeSec is total DHT+SOMO traffic per node per second —
+	// the per-node overhead that must stay flat as N grows.
+	MsgsPerNodeSec float64
+	// Improvement is the fig-8-style Leafset+adjust tree-height
+	// improvement over plain AMCast for one GroupSize-member session.
+	Improvement float64
+
+	// BenchWallMS is the cell's total wall time (pool build + ring
+	// simulation + planning probe).
+	BenchWallMS float64 `json:"wall_ms"`
+	// BenchAllocs is the heap allocation count over the cell
+	// (runtime.MemStats Mallocs delta).
+	BenchAllocs uint64 `json:"allocs"`
+	// BenchEventsPerSec is Events divided by the ring-simulation wall
+	// time — the per-event cost trajectory.
+	BenchEventsPerSec float64 `json:"events_per_sec"`
+	// BenchPeakRSSMB estimates the resident heap after the run
+	// (MemStats HeapInuse, MB).
+	BenchPeakRSSMB float64 `json:"peak_rss_mb"`
+}
+
+// ScaleResult is the scale study.
+type ScaleResult struct {
+	Opts ScaleOptions
+	Rows []ScaleRow
+}
+
+// Scale runs the study: per pool size, build the pool (topology,
+// coordinates, degrees), run a live DHT+SOMO ring over the pool's
+// latencies for Runtime, query the root snapshot, and plan one ALM
+// session — measuring protocol-shape metrics at every N, plus harness
+// cost when Bench is set.
+func Scale(opts ScaleOptions) (*ScaleResult, error) {
+	opts = opts.withDefaults()
+	for _, n := range opts.Sizes {
+		if opts.GroupSize+1 > n {
+			return nil, fmt.Errorf("experiments: group size %d exceeds pool size %d", opts.GroupSize, n)
+		}
+	}
+	workers := opts.Workers
+	if opts.Bench {
+		// Concurrent cells would share the allocator and the cores,
+		// poisoning each other's wall-clock and MemStats readings.
+		workers = 1
+	}
+	rows, err := par.MapErr(workers, len(opts.Sizes), func(i int) (ScaleRow, error) {
+		return scaleRun(opts.Sizes[i], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ScaleResult{Opts: opts, Rows: rows}, nil
+}
+
+func scaleRun(n int, opts ScaleOptions) (ScaleRow, error) {
+	var msBefore runtime.MemStats
+	if opts.Bench {
+		runtime.GC()
+		runtime.ReadMemStats(&msBefore)
+	}
+	start := time.Now()
+
+	// The pool: topology with n hosts, coordinates, degree bounds. Cell
+	// work is seeded per cell so the sweep parallelizes without sharing
+	// randomness (the somoexp/fig8 pattern).
+	top := topology.DefaultConfig()
+	top.Hosts = n
+	top.Seed = opts.Seed
+	pool, err := core.BuildFast(core.Options{Topology: top, Seed: opts.Seed, Workers: 1})
+	if err != nil {
+		return ScaleRow{}, err
+	}
+
+	// A live DHT+SOMO ring over the pool's true latencies.
+	engine := eventsim.New(opts.Seed + int64(n))
+	net := transport.NewSim(engine, transport.SimOptions{Latency: pool.TrueLatency})
+	r := rand.New(rand.NewSource(opts.Seed + int64(n) + 7))
+	idList := dht.RandomIDs(n, r)
+	addrs := make([]transport.Addr, n)
+	for i := range addrs {
+		addrs[i] = transport.Addr(i)
+	}
+	nodes, err := dht.BuildRing(net, idList, addrs, dht.Config{LeafsetRadius: 8})
+	if err != nil {
+		return ScaleRow{}, err
+	}
+	cfg := somo.Config{ReportInterval: opts.ReportInterval}
+	agents := make([]*somo.Agent, n)
+	for i, nd := range nodes {
+		i := i
+		agents[i] = somo.NewAgent(nd, cfg, func() interface{} { return i })
+	}
+	simStart := time.Now()
+	engine.RunUntil(opts.Runtime)
+	simWall := time.Since(simStart)
+
+	row := ScaleRow{Hosts: n, Events: engine.Processed()}
+	var root *somo.Agent
+	for _, a := range agents {
+		if a.IsRoot() {
+			root = a
+		}
+		if l := a.Representative().Level; l > row.Depth {
+			row.Depth = l
+		}
+	}
+	if root != nil {
+		var snap somo.Snapshot
+		root.Query(func(s somo.Snapshot) { snap = s })
+		row.Records = len(snap.Records)
+		for _, rec := range snap.Records {
+			if age := float64(snap.Time - rec.Time); age > row.Staleness {
+				row.Staleness = age
+			}
+		}
+	}
+	stats := net.Stats()
+	row.MsgsPerNodeSec = float64(stats.MessagesSent) / float64(n) /
+		(float64(opts.Runtime) / 1000)
+
+	// Fig-8-style improvement probe: one Leafset+adjust session at
+	// GroupSize members against the plain-AMCast baseline.
+	perm := rand.New(rand.NewSource(opts.Seed + int64(n) + 13)).Perm(n)
+	sroot, members := perm[0], perm[1:opts.GroupSize+1]
+	base, err := pool.PlanSession(sroot, members, core.PlanOptions{NoHelpers: true})
+	if err != nil {
+		return ScaleRow{}, err
+	}
+	tr, err := pool.PlanSession(sroot, members, core.PlanOptions{Mode: core.Leafset, Adjust: true})
+	if err != nil {
+		return ScaleRow{}, err
+	}
+	hBase := base.MaxHeight(pool.TrueLatency)
+	row.Improvement = 1 - tr.MaxHeight(pool.TrueLatency)/hBase
+
+	if opts.Bench {
+		row.BenchWallMS = float64(time.Since(start).Milliseconds())
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
+		row.BenchAllocs = msAfter.Mallocs - msBefore.Mallocs
+		row.BenchPeakRSSMB = float64(msAfter.HeapInuse) / 1e6
+		if s := simWall.Seconds(); s > 0 {
+			row.BenchEventsPerSec = float64(row.Events) / s
+		}
+	}
+	return row, nil
+}
+
+// Tables renders the deterministic half of the study. Bench fields are
+// deliberately absent: wall clocks differ run to run, and this output
+// participates in the byte-identical determinism contract.
+func (r *ScaleResult) Tables() []Table {
+	t := Table{
+		Title: "Scale study: paper-shape metrics vs pool size (10x the paper's 1200 hosts)",
+		Columns: []string{"hosts", "events", "depth", "records",
+			"staleness ms", "msgs/node/s", "improvement"},
+		Note: "self-scaling claim: staleness tracks (depth+1)*T = O(log N), msgs/node/s and " +
+			"ALM improvement stay flat while N grows 10x; wall-clock/alloc trajectory in BENCH_scale.json",
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			d(row.Hosts), fmt.Sprintf("%d", row.Events), d(row.Depth), d(row.Records),
+			f1(row.Staleness), f3(row.MsgsPerNodeSec), f3(row.Improvement),
+		})
+	}
+	return []Table{t}
+}
+
+// benchFile is the BENCH_scale.json schema, version bench-scale/v1:
+//
+//	{
+//	  "schema": "bench-scale/v1",
+//	  "seed": 1, "runtime_ms": 60000, "group_size": 100,
+//	  "rows": [{
+//	    "hosts": 1200,            // pool size
+//	    "wall_ms": 0,             // total cell wall time
+//	    "allocs": 0,              // heap allocations over the cell
+//	    "events": 0,              // simulation events processed
+//	    "events_per_sec": 0,      // events / ring-simulation wall time
+//	    "peak_rss_mb": 0,         // HeapInuse after the cell, MB
+//	    "staleness_ms": 0,        // worst root-snapshot record age
+//	    "improvement": 0          // fig-8-style Leafset+adjust gain
+//	  }, ...]
+//	}
+//
+// Future perf PRs compare their trajectory against the committed file:
+// events_per_sec must stay within 2x across the size sweep (per-event
+// cost flat) and must not regress across PRs at equal N.
+type benchFile struct {
+	Schema    string     `json:"schema"`
+	Seed      int64      `json:"seed"`
+	RuntimeMS float64    `json:"runtime_ms"`
+	GroupSize int        `json:"group_size"`
+	Rows      []benchRow `json:"rows"`
+}
+
+type benchRow struct {
+	Hosts        int     `json:"hosts"`
+	WallMS       float64 `json:"wall_ms"`
+	Allocs       uint64  `json:"allocs"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	PeakRSSMB    float64 `json:"peak_rss_mb"`
+	StalenessMS  float64 `json:"staleness_ms"`
+	Improvement  float64 `json:"improvement"`
+}
+
+// BenchJSON renders the machine-readable bench trajectory (schema
+// bench-scale/v1, documented on benchFile). Call only on a result
+// produced with ScaleOptions.Bench set; otherwise the wall-clock
+// fields are zero.
+func (r *ScaleResult) BenchJSON() ([]byte, error) {
+	f := benchFile{
+		Schema:    "bench-scale/v1",
+		Seed:      r.Opts.Seed,
+		RuntimeMS: float64(r.Opts.Runtime),
+		GroupSize: r.Opts.GroupSize,
+	}
+	for _, row := range r.Rows {
+		f.Rows = append(f.Rows, benchRow{
+			Hosts:        row.Hosts,
+			WallMS:       row.BenchWallMS,
+			Allocs:       row.BenchAllocs,
+			Events:       row.Events,
+			EventsPerSec: row.BenchEventsPerSec,
+			PeakRSSMB:    row.BenchPeakRSSMB,
+			StalenessMS:  row.Staleness,
+			Improvement:  row.Improvement,
+		})
+	}
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

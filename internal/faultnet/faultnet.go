@@ -17,6 +17,7 @@ package faultnet
 import (
 	"math/rand"
 	"sort"
+	"sync"
 
 	"p2ppool/internal/eventsim"
 	"p2ppool/internal/obs"
@@ -331,10 +332,38 @@ func (f *Net) Send(from, to transport.Addr, sizeBytes int, msg transport.Message
 		f.cDelayed.Inc()
 		f.hJitter.Observe(float64(d))
 		f.trace.Record(obs.Event{Time: f.inner.Now(), Kind: obs.KindDelay, From: int(from), To: int(to), Size: sizeBytes, Latency: float64(d)})
-		f.inner.After(d, func() { f.inner.Send(from, to, sizeBytes, msg) })
+		if rs, ok := f.inner.(transport.RunnerScheduler); ok {
+			j := jitterPool.Get().(*jitterSend)
+			*j = jitterSend{inner: f.inner, from: from, to: to, sizeBytes: sizeBytes, msg: msg}
+			rs.CallAfter(d, j)
+		} else {
+			f.inner.After(d, func() { f.inner.Send(from, to, sizeBytes, msg) })
+		}
 		return
 	}
 	f.inner.Send(from, to, sizeBytes, msg)
+}
+
+// jitterSend is a pooled deferred re-send for the jitter path; on
+// networks implementing transport.RunnerScheduler it replaces the
+// closure+timer allocation per jittered message. Both paths schedule a
+// single event at the same point, so the event sequence is identical.
+type jitterSend struct {
+	inner     transport.Network
+	from, to  transport.Addr
+	sizeBytes int
+	msg       transport.Message
+}
+
+var jitterPool = sync.Pool{New: func() interface{} { return new(jitterSend) }}
+
+// RunEvent implements eventsim.Runner: hand the delayed message to the
+// wrapped network.
+func (j *jitterSend) RunEvent() {
+	inner, from, to, sizeBytes, msg := j.inner, j.from, j.to, j.sizeBytes, j.msg
+	*j = jitterSend{}
+	jitterPool.Put(j)
+	inner.Send(from, to, sizeBytes, msg)
 }
 
 // Now implements transport.Network.

@@ -1,0 +1,100 @@
+package heap4
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// intHeap is a reference container/heap implementation.
+type intHeap []int
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+func TestPopOrderMatchesSort(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	h := New(func(a, b int) bool { return a < b })
+	want := make([]int, 500)
+	for i := range want {
+		want[i] = r.Intn(100) // plenty of duplicates
+		h.Push(want[i])
+	}
+	sort.Ints(want)
+	for i, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("len = %d after draining", h.Len())
+	}
+}
+
+// TestDifferentialAgainstContainerHeap interleaves random pushes and
+// pops against container/heap; every popped value must agree.
+func TestDifferentialAgainstContainerHeap(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	h := New(func(a, b int) bool { return a < b })
+	ref := &intHeap{}
+	for op := 0; op < 20000; op++ {
+		if ref.Len() == 0 || r.Intn(3) != 0 {
+			v := r.Intn(1000)
+			h.Push(v)
+			heap.Push(ref, v)
+		} else {
+			got, want := h.Pop(), heap.Pop(ref).(int)
+			if got != want {
+				t.Fatalf("op %d: pop = %d, want %d", op, got, want)
+			}
+		}
+		if h.Len() != ref.Len() {
+			t.Fatalf("op %d: len = %d, want %d", op, h.Len(), ref.Len())
+		}
+	}
+}
+
+func TestPeekAndClear(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	h.Push(3)
+	h.Push(1)
+	h.Push(2)
+	if h.Peek() != 1 {
+		t.Fatalf("peek = %d", h.Peek())
+	}
+	if h.Pop() != 1 || h.Peek() != 2 {
+		t.Fatal("pop/peek order wrong")
+	}
+	h.Clear()
+	if h.Len() != 0 {
+		t.Fatalf("len after clear = %d", h.Len())
+	}
+	h.Push(9)
+	if h.Peek() != 9 {
+		t.Fatal("heap unusable after Clear")
+	}
+}
+
+func TestZeroAllocSteadyState(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	h.Grow(64)
+	for i := 0; i < 64; i++ {
+		h.Push(i)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Push(17)
+		h.Pop()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state push/pop allocates %.2f/op, want 0", allocs)
+	}
+}

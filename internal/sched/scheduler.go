@@ -61,6 +61,10 @@ type Config struct {
 	// estimates). Tree links themselves always use the scheduler's
 	// latency function — a session measures the nodes it contacts.
 	ScoreLatency alm.LatencyFunc
+	// MetricScore declares the vicinity-judgment latency to be a metric,
+	// enabling the planner's indexed helper search (see
+	// alm.HelperSet.MetricScore). Pool-built schedulers set it.
+	MetricScore bool
 }
 
 func (c Config) withDefaults() Config {
@@ -431,6 +435,7 @@ func (sc *Scheduler) planOne(s *Session) error {
 		Radius:       sc.cfg.HelperRadius,
 		MinDegree:    sc.cfg.HelperMinDegree,
 		ScoreLatency: sc.cfg.ScoreLatency,
+		MetricScore:  sc.cfg.MetricScore,
 	})
 	if err != nil {
 		return err

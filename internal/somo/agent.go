@@ -1,7 +1,7 @@
 package somo
 
 import (
-	"sort"
+	"slices"
 
 	"p2ppool/internal/dht"
 	"p2ppool/internal/eventsim"
@@ -145,7 +145,12 @@ type Agent struct {
 	knownChildren map[ids.ID]dht.Entry
 
 	snapshot Snapshot // root only: latest assembled global view
-	digest   Digest   // latest digest seen (root: own; others: from acks)
+	// snapshotShared marks that snapshot.Records has escaped to a
+	// caller (Query callback, snapshotMsg reply, RootSnapshot). While
+	// set, refreshRoot must allocate a fresh slice instead of reusing
+	// the old one, or it would mutate data the caller still holds.
+	snapshotShared bool
+	digest         Digest // latest digest seen (root: own; others: from acks)
 
 	queryToken uint64
 	queries    map[uint64]*pendingQuery
@@ -244,7 +249,10 @@ func (a *Agent) IsRoot() bool { return a.Representative().IsRoot() }
 
 // RootSnapshot returns the latest assembled snapshot. Only meaningful
 // on the root member; others see a zero snapshot and should use Query.
-func (a *Agent) RootSnapshot() Snapshot { return a.snapshot }
+func (a *Agent) RootSnapshot() Snapshot {
+	a.snapshotShared = true
+	return a.snapshot
+}
 
 // LatestDigest returns the newest root digest this member has seen via
 // downward dissemination.
@@ -269,6 +277,7 @@ func (a *Agent) LastReport() eventsim.Time { return a.lastReport }
 func (a *Agent) Query(cb func(Snapshot)) {
 	if a.IsRoot() {
 		a.refreshRoot()
+		a.snapshotShared = true
 		cb(a.snapshot)
 		return
 	}
@@ -368,13 +377,21 @@ func (a *Agent) pushUp() {
 }
 
 // assemble merges the member's own record with unexpired child records.
+// The slice is freshly allocated (pre-sized) because report records
+// escape into an asynchronous message.
 func (a *Agent) assemble() []Record {
+	return a.assembleInto(make([]Record, 0, 1+len(a.children)))
+}
+
+// assembleInto is assemble writing into a caller-provided buffer
+// (reused across root refreshes).
+func (a *Agent) assembleInto(records []Record) []Record {
 	now := a.node.Network().Now()
 	var data interface{}
 	if a.local != nil {
 		data = a.local()
 	}
-	records := []Record{{Source: a.node.Self(), Time: now, Data: data}}
+	records = append(records, Record{Source: a.node.Self(), Time: now, Data: data})
 	for id, rec := range a.children {
 		if now-rec.Time > a.cfg.RecordTTL {
 			delete(a.children, id)
@@ -383,13 +400,29 @@ func (a *Agent) assemble() []Record {
 		}
 		records = append(records, rec)
 	}
-	// Deterministic order keeps simulation runs reproducible.
-	sort.Slice(records, func(i, j int) bool { return records[i].Source.ID < records[j].Source.ID })
+	// Deterministic order keeps simulation runs reproducible; source IDs
+	// are unique, so the (unstable) sort has a single valid result.
+	slices.SortFunc(records, func(x, y Record) int {
+		switch {
+		case x.Source.ID < y.Source.ID:
+			return -1
+		case x.Source.ID > y.Source.ID:
+			return 1
+		}
+		return 0
+	})
 	return records
 }
 
 func (a *Agent) refreshRoot() {
-	records := a.assemble()
+	var buf []Record
+	if a.snapshotShared || cap(a.snapshot.Records) == 0 {
+		buf = make([]Record, 0, 1+len(a.children))
+		a.snapshotShared = false
+	} else {
+		buf = a.snapshot.Records[:0]
+	}
+	records := a.assembleInto(buf)
 	a.snapshot = Snapshot{
 		Records: records,
 		Version: a.snapshot.Version + 1,
@@ -444,6 +477,7 @@ func (a *Agent) onRouted(key ids.ID, from dht.Entry, hops int, payload interface
 		}
 	case queryMsg:
 		a.refreshRoot()
+		a.snapshotShared = true // Records ride inside the async reply
 		size := 64 + a.cfg.ReportBytesPerRecord*len(a.snapshot.Records)
 		a.node.SendApp(m.ReplyTo, size, snapshotMsg{Token: m.Token, Snapshot: a.snapshot})
 	}

@@ -12,9 +12,9 @@
 package topology
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"p2ppool/internal/heap4"
 
 	"p2ppool/internal/par"
 )
@@ -276,19 +276,14 @@ type pqItem struct {
 	dist float64
 }
 
-type pq []pqItem
+func pqLess(a, b pqItem) bool { return a.dist < b.dist }
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	it := old[len(old)-1]
-	*q = old[:len(old)-1]
-	return it
-}
-
+// dijkstra runs single-source shortest paths on the router graph. The
+// frontier is a concrete-typed heap4 queue: container/heap boxed every
+// pqItem through interface{} on both Push and Pop, and with one Dijkstra
+// per router during all-pairs construction that boxing dominated
+// topology-build allocations. Pop tie-order among equal distances does
+// not affect the final dist values, so results are unchanged.
 func (n *Network) dijkstra(src int) []float64 {
 	const inf = 1e18
 	dist := make([]float64, n.routers)
@@ -296,16 +291,18 @@ func (n *Network) dijkstra(src int) []float64 {
 		dist[i] = inf
 	}
 	dist[src] = 0
-	q := &pq{{node: src, dist: 0}}
+	q := heap4.New(pqLess)
+	q.Grow(64)
+	q.Push(pqItem{node: src, dist: 0})
 	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
+		it := q.Pop()
 		if it.dist > dist[it.node] {
 			continue
 		}
 		for _, e := range n.adj[it.node] {
 			if d := it.dist + e.lat; d < dist[e.to] {
 				dist[e.to] = d
-				heap.Push(q, pqItem{node: e.to, dist: d})
+				q.Push(pqItem{node: e.to, dist: d})
 			}
 		}
 	}
