@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json profile chaos obs scale ci
+.PHONY: all build test race vet bench bench-json profile chaos obs scale audit ci
 
 all: build
 
@@ -37,6 +37,14 @@ obs:
 scale:
 	$(GO) run ./cmd/experiments -fig scale -seed 1
 
+# Invariant audit: 15 cross-layer checks (DHT ring, SOMO tree, ALM
+# sessions, scheduler ledger) swept over 20 seeds of scripted churn,
+# partition and repair. Exits nonzero on any violation and prints a
+# delta-debugged minimal fault script reproducing it. Opt-in (never
+# part of "all"); same seed => byte-identical output for any -workers.
+audit:
+	$(GO) run ./cmd/experiments -fig audit -seed 1
+
 # Machine-readable bench trajectory: per-size wall time, allocations,
 # events/sec and peak RSS, written to BENCH_scale.json (schema
 # bench-scale/v1, documented in internal/experiments/scale.go). Bench
@@ -52,8 +60,12 @@ profile:
 # The obs smoke run doubles as an end-to-end check that metrics +
 # tracing assemble a dashboard out of the SOMO root snapshot; the bench
 # smoke compiles and single-iterates every benchmark; the scale smoke
-# runs the paper-size cell (N=1200) of the scale study end to end.
+# runs the paper-size cell (N=1200) of the scale study end to end; the
+# audit runs the full 20-seed invariant sweep under the race detector
+# (it exits nonzero on any violation — rerun `make audit` to see the
+# shrunk reproduction).
 ci: build vet test race
 	$(GO) run ./cmd/experiments -fig obs -seed 1 > /dev/null
 	$(GO) test -bench=. -benchtime=1x -run '^$$' . > /dev/null
 	$(GO) run ./cmd/experiments -fig scale -hosts 1200 -scale-runtime 30 -seed 1 > /dev/null
+	$(GO) run -race ./cmd/experiments -fig audit -seed 1 > /dev/null

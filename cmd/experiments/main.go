@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all, or obs/scale (not part of all)")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all, or obs/scale/audit (not part of all)")
 		seed    = flag.Int64("seed", 1, "experiment seed (same seed => identical output)")
 		runs    = flag.Int("runs", 0, "override repetition count (0 = experiment default)")
 		hosts   = flag.Int("hosts", 0, "override pool size (0 = paper default 1200)")
@@ -159,6 +159,28 @@ func main() {
 			break
 		}
 	}
+	exitCode := 0
+	for _, w := range want {
+		if w == "audit" {
+			run("invariant audit", func() (experiments.Result, error) {
+				res, err := experiments.Audit(experiments.AuditOptions{
+					Hosts:   *hosts,
+					Seeds:   *runs,
+					Seed:    *seed,
+					Workers: *workers,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if n := res.ViolationCount(); n > 0 {
+					fmt.Fprintf(os.Stderr, "audit: %d violation(s)\n", n)
+					exitCode = 1
+				}
+				return res, nil
+			})
+			break
+		}
+	}
 	for _, w := range want {
 		if w == "scale" {
 			opts := experiments.ScaleOptions{
@@ -192,7 +214,7 @@ func main() {
 		}
 	}
 	if len(results) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, obs, scale, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, obs, scale, audit, all)\n", *fig)
 		os.Exit(2)
 	}
 
@@ -213,6 +235,9 @@ func main() {
 				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 			}
 		}
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
 }
 

@@ -1,0 +1,130 @@
+package alm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildBoundedTree grows a random tree over hosts 0..n-1 rooted at 0,
+// attaching each node under a uniformly chosen parent with spare
+// degree. Bounds are drawn tight (mostly 1-2) so repairs frequently
+// exhaust residual capacity.
+func buildBoundedTree(r *rand.Rand, n int) (*Tree, []int) {
+	for {
+		bounds := make([]int, n)
+		for i := range bounds {
+			bounds[i] = 1 + r.Intn(4) // 1..4, skewed tight
+			if r.Intn(2) == 0 {
+				bounds[i] = 1 + r.Intn(2)
+			}
+		}
+		t := NewTree(0)
+		ok := true
+		for v := 1; v < n; v++ {
+			var cands []int
+			for _, w := range t.Nodes() {
+				if t.Degree(w) < bounds[w] {
+					cands = append(cands, w)
+				}
+			}
+			if len(cands) == 0 {
+				ok = false
+				break
+			}
+			if err := t.Attach(v, cands[r.Intn(len(cands))]); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t, bounds
+		}
+	}
+}
+
+// assertBounds checks the degree invariant over the reachable tree —
+// the property the audit's alm/degree-bound check sweeps. It must hold
+// after EVERY repair step, including a failed (partial) repair whose
+// orphan batch exceeded residual capacity: the scheduler falls back to
+// a full replan then, but nothing may over-subscribe a host's uplink
+// in the meantime.
+func assertBounds(t *testing.T, tr *Tree, bounds []int, trial int, phase string) {
+	t.Helper()
+	for _, v := range tr.Subtree(tr.Root) {
+		if d := tr.Degree(v); d > bounds[v] {
+			t.Fatalf("trial %d (%s): node %d degree %d exceeds bound %d",
+				trial, phase, v, d, bounds[v])
+		}
+	}
+}
+
+// TestRepairRespectsBoundsUnderOrphanPressure hammers Repair and
+// Adjust with random trees, tight bounds, and dead sets sized to
+// overflow residual capacity, asserting the degree invariant after
+// every step regardless of whether the repair succeeded.
+func TestRepairRespectsBoundsUnderOrphanPressure(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	lat := func(a, b int) float64 {
+		if a == b {
+			return 0
+		}
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		return 10 + float64((a+b)%7)*5 + float64(d%5)
+	}
+	boundFn := func(bounds []int) DegreeFunc {
+		return func(v int) int { return bounds[v] }
+	}
+	failures := 0
+	const trials = 300
+	for trial := 0; trial < trials; trial++ {
+		n := 8 + r.Intn(10)
+		tr, bounds := buildBoundedTree(r, n)
+		// Kill up to half the hosts; interior nodes with many children
+		// produce orphan batches bigger than the survivors' spare degree.
+		var dead []int
+		for v := 1; v < n; v++ {
+			if r.Intn(3) == 0 {
+				dead = append(dead, v)
+			}
+		}
+		if len(dead) == 0 {
+			dead = append(dead, 1+r.Intn(n-1))
+		}
+		_, err := Repair(tr, dead, lat, boundFn(bounds))
+		assertBounds(t, tr, bounds, trial, "post-repair")
+		if err != nil {
+			failures++
+			continue
+		}
+		// A successful repair must leave a fully valid bounded tree with
+		// every survivor reachable.
+		if verr := tr.Validate(boundFn(bounds)); verr != nil {
+			t.Fatalf("trial %d: repaired tree invalid: %v", trial, verr)
+		}
+		deadSet := make(map[int]bool, len(dead))
+		for _, v := range dead {
+			deadSet[v] = true
+		}
+		reach := make(map[int]bool)
+		for _, v := range tr.Subtree(tr.Root) {
+			reach[v] = true
+		}
+		for v := 0; v < n; v++ {
+			if !deadSet[v] && !reach[v] {
+				t.Fatalf("trial %d: survivor %d lost by repair", trial, v)
+			}
+		}
+		// Extra Adjust passes must preserve bounds too.
+		Adjust(tr, lat, boundFn(bounds))
+		assertBounds(t, tr, bounds, trial, "post-adjust")
+		if verr := tr.Validate(boundFn(bounds)); verr != nil {
+			t.Fatalf("trial %d: adjusted tree invalid: %v", trial, verr)
+		}
+	}
+	if failures == 0 {
+		t.Fatalf("no trial exhausted residual capacity; the hammer is not hitting the partial-repair path")
+	}
+}

@@ -311,9 +311,17 @@ func removeOne(s []int, v int) []int {
 
 // Validate checks structural integrity: every non-root node has a
 // parent chain reaching the root without cycles, children lists match
-// parent pointers, and every node's degree respects bound.
+// parent pointers, and every node's degree respects bound. Nodes are
+// visited in sorted order so a tree with several defects always
+// reports the same one — the error string feeds invariant-audit
+// violation details, which must be reproducible across runs.
 func (t *Tree) Validate(bound DegreeFunc) error {
+	withParent := make([]int, 0, len(t.parent))
 	for v := range t.parent {
+		withParent = append(withParent, v)
+	}
+	sort.Ints(withParent)
+	for _, v := range withParent {
 		if v == t.Root {
 			return fmt.Errorf("alm: root has a parent")
 		}
@@ -333,8 +341,13 @@ func (t *Tree) Validate(bound DegreeFunc) error {
 			}
 		}
 	}
-	for p, ch := range t.children {
-		for _, c := range ch {
+	parents := make([]int, 0, len(t.children))
+	for p := range t.children {
+		parents = append(parents, p)
+	}
+	sort.Ints(parents)
+	for _, p := range parents {
+		for _, c := range t.children[p] {
 			if got, ok := t.parent[c]; !ok || got != p {
 				return fmt.Errorf("alm: child list of %d contains %d but parent pointer disagrees", p, c)
 			}

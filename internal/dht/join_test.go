@@ -1,0 +1,72 @@
+package dht
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/faultnet"
+	"p2ppool/internal/ids"
+	"p2ppool/internal/transport"
+)
+
+// A join request is a single message; if a partition (or any loss)
+// swallows it, the joiner used to stay outside the ring forever while
+// believing it had joined — nobody heartbeats a node that never made
+// it into any leafset, and a fresh node has no stale fingers to rescue
+// it. The lone-node join retry closes that hole: surfaced by the
+// invariant audit's long-outage scenario (a host restarting behind a
+// partition after every suspect probe for it had expired).
+func TestJoinRetriesThroughPartition(t *testing.T) {
+	e, sim := testNet(11)
+	f := faultnet.New(sim, faultnet.Options{Seed: 3})
+	cfg := Config{
+		LeafsetRadius:     4,
+		HeartbeatInterval: eventsim.Second,
+		FailureTimeout:    3 * eventsim.Second,
+	}
+	r := rand.New(rand.NewSource(7))
+	const n = 8
+	idList := RandomIDs(n, r)
+	addrs := make([]transport.Addr, n)
+	for i := range addrs {
+		addrs[i] = transport.Addr(i)
+	}
+	nodes, err := BuildRing(f, idList, addrs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(30 * eventsim.Second)
+
+	var id ids.ID
+	for {
+		id = ids.Random(r)
+		fresh := true
+		for _, have := range idList {
+			if have == id {
+				fresh = false
+			}
+		}
+		if fresh {
+			break
+		}
+	}
+	joiner := NewNode(f, id, transport.Addr(100), cfg)
+	f.Partition(addrs, []transport.Addr{100})
+	joiner.Join(nodes[0].Self())
+	e.RunUntil(e.Now() + 20*eventsim.Second)
+	if got := len(joiner.Leafset()); got != 0 {
+		t.Fatalf("joiner built a leafset of %d through an active partition", got)
+	}
+
+	f.Heal()
+	e.RunUntil(e.Now() + 30*eventsim.Second)
+	if got := len(joiner.Leafset()); got == 0 {
+		t.Fatalf("joiner still outside the ring %v after heal: join was never retried", e.Now())
+	}
+	all := append(append([]*Node(nil), nodes...), joiner)
+	SortByID(all)
+	if err := CheckRing(all); err != nil {
+		t.Fatalf("ring did not absorb the joiner: %v", err)
+	}
+}

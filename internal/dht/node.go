@@ -78,6 +78,15 @@ type Node struct {
 
 	lastZone ids.Zone
 
+	// joinSeed remembers the entry this node joined through, and
+	// lastJoinSent when the last join request went out. A join request
+	// is a single message; if it is lost (partition, crash window, link
+	// loss) the node would otherwise stay outside the ring forever
+	// while believing it had joined, so a lone node re-sends its join
+	// every FailureTimeout until it hears from anyone.
+	joinSeed     Entry
+	lastJoinSent eventsim.Time
+
 	cancelHB transport.CancelFunc
 	cancelFF transport.CancelFunc
 
@@ -159,7 +168,14 @@ func (n *Node) Join(seed Entry) {
 	n.active = true
 	n.reattach()
 	n.startTimers()
-	n.send(seed, 64, routed{
+	n.joinSeed = seed
+	n.sendJoin()
+}
+
+// sendJoin (re-)sends the join request through the remembered seed.
+func (n *Node) sendJoin() {
+	n.lastJoinSent = n.net.Now()
+	n.send(n.joinSeed, 64, routed{
 		Key:     n.self.ID,
 		Origin:  n.self,
 		Size:    64,
@@ -460,6 +476,13 @@ func (n *Node) startTimers() {
 func (n *Node) heartbeatTick() {
 	if !n.active {
 		return
+	}
+	// A lone node retries its join: the single join request (or its
+	// reply) may have been lost, and nobody heartbeats a node that
+	// never made it into any leafset.
+	if len(n.sorted) == 0 && !n.joinSeed.IsZero() &&
+		n.net.Now()-n.lastJoinSent >= n.cfg.FailureTimeout {
+		n.sendJoin()
 	}
 	n.checkFailures()
 	hb := heartbeat{

@@ -1,0 +1,93 @@
+package dht_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2ppool/internal/dht"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/faultnet"
+	"p2ppool/internal/invariant"
+	"p2ppool/internal/transport"
+)
+
+// After a partition heals, the re-merged ring must restore leafset
+// symmetry: if A lists B then B lists A. The ring is sized so every
+// node's leafset spans the whole membership (2×radius ≥ n-1), which
+// means no asymmetry can be excused as a legitimate density prune —
+// the invariant check runs with zero allowance. Uses the cross-layer
+// invariant registry directly, the same checks the audit driver
+// sweeps.
+func TestLeafsetSymmetryAfterHeal(t *testing.T) {
+	for _, style := range []string{"contiguous", "interleaved"} {
+		t.Run(style, func(t *testing.T) {
+			eng := eventsim.New(17)
+			sim := transport.NewSim(eng, transport.SimOptions{
+				Latency: func(a, b int) float64 {
+					if a == b {
+						return 0
+					}
+					return 30
+				},
+			})
+			f := faultnet.New(sim, faultnet.Options{Seed: 5})
+			const n = 16
+			cfg := dht.Config{
+				LeafsetRadius:     8, // 2r >= n-1: full visibility, no prunes
+				HeartbeatInterval: eventsim.Second,
+				FailureTimeout:    3 * eventsim.Second,
+			}
+			r := rand.New(rand.NewSource(23))
+			idList := dht.RandomIDs(n, r)
+			addrs := make([]transport.Addr, n)
+			for i := range addrs {
+				addrs[i] = transport.Addr(i)
+			}
+			ring, err := dht.BuildRing(f, idList, addrs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes := make([]*dht.Node, n)
+			for _, nd := range ring {
+				nodes[int(nd.Self().Addr)] = nd
+			}
+			eng.RunUntil(20 * eventsim.Second)
+
+			var a, b []transport.Addr
+			for i, nd := range ring { // ring order
+				h := nd.Self().Addr
+				switch {
+				case style == "contiguous" && i < len(ring)/2,
+					style == "interleaved" && i%2 == 0:
+					a = append(a, h)
+				default:
+					b = append(b, h)
+				}
+			}
+			f.Partition(a, b)
+			// Long enough for both sides to declare the other dead and
+			// fully rebuild their halved leafsets.
+			eng.RunUntil(eng.Now() + 30*eventsim.Second)
+			f.Heal()
+			eng.RunUntil(eng.Now() + 60*eventsim.Second)
+
+			w := &invariant.World{Now: eng.Now(), Nodes: nodes}
+			reg := invariant.NewRegistry()
+			var bad []invariant.Violation
+			for _, v := range reg.Sweep(w, invariant.Eventual) {
+				if v.Check == "dht/leafset-symmetry" || v.Check == "dht/ring-agreement" || v.Check == "dht/leafset-live" {
+					bad = append(bad, v)
+				}
+			}
+			for _, v := range bad {
+				t.Errorf("%s", v)
+			}
+			// Full visibility: every node must list every other node.
+			for h, nd := range nodes {
+				if got := len(nd.Leafset()); got != n-1 {
+					t.Errorf("host %d leafset has %d entries, want %d", h, got, n-1)
+				}
+			}
+		})
+	}
+}

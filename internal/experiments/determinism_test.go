@@ -96,6 +96,34 @@ func TestScaleWorkerDeterminism(t *testing.T) {
 	})
 }
 
+// The audit is held to a stricter standard than the figures — the
+// issue of record is a byte-identical reproduction trace, so the
+// rendered output is diffed across three worker counts, not two.
+func TestAuditWorkerDeterminism(t *testing.T) {
+	run := func(w int) (Result, error) {
+		return Audit(AuditOptions{
+			Hosts: 32, GroupSize: 8, Seeds: 4,
+			Window: 60 * eventsim.Second, Settle: 45 * eventsim.Second,
+			PartitionAt: 25 * eventsim.Second, PartitionFor: 15 * eventsim.Second,
+			Seed: 1, Workers: w,
+		})
+	}
+	base, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(base)
+	for _, w := range []int{4, 16} {
+		res, err := run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderAll(res); got != want {
+			t.Errorf("audit output differs between Workers=1 and Workers=%d:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s", w, want, w, got)
+		}
+	}
+}
+
 func TestAblationsWorkerDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweep is slow; covered by the long run")

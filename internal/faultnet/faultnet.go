@@ -15,6 +15,7 @@
 package faultnet
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
@@ -162,15 +163,21 @@ func (f *Net) SetJitter(max eventsim.Time) { f.jitter = max }
 // partition.
 func (f *Net) Partition(groups ...[]transport.Addr) {
 	f.groupOf = make(map[transport.Addr]int)
+	n := 0
 	for g, addrs := range groups {
 		for _, a := range addrs {
 			f.groupOf[a] = g + 1
+			n++
 		}
 	}
+	f.Mark(fmt.Sprintf("fault:partition %d groups %d addrs", len(groups), n))
 }
 
 // Heal removes the active partition.
-func (f *Net) Heal() { f.groupOf = make(map[transport.Addr]int) }
+func (f *Net) Heal() {
+	f.groupOf = make(map[transport.Addr]int)
+	f.Mark("fault:heal")
+}
 
 // Partitioned reports whether an active partition separates a and b.
 func (f *Net) Partitioned(a, b transport.Addr) bool {
@@ -188,6 +195,7 @@ func (f *Net) Crash(a transport.Addr) {
 		return
 	}
 	f.crashed[a] = true
+	f.Mark(fmt.Sprintf("fault:crash %d", a))
 	f.ctr.Crashes++
 	f.cCrashes.Inc()
 	f.trace.Record(obs.Event{Time: f.inner.Now(), Kind: obs.KindCrash, From: int(a), To: -1})
@@ -204,6 +212,7 @@ func (f *Net) Restart(a transport.Addr) {
 		return
 	}
 	delete(f.crashed, a)
+	f.Mark(fmt.Sprintf("fault:restart %d", a))
 	f.ctr.Restarts++
 	f.cRestarts.Inc()
 	f.trace.Record(obs.Event{Time: f.inner.Now(), Kind: obs.KindRestart, From: int(a), To: -1})
@@ -364,6 +373,16 @@ func (j *jitterSend) RunEvent() {
 	*j = jitterSend{}
 	jitterPool.Put(j)
 	inner.Send(from, to, sizeBytes, msg)
+}
+
+// Mark delegates to the inner network's trace marker, if any, so a
+// fault layer over a tracing Sim records the fault actions it executes
+// as trace landmarks (and a stack of layers still records into the one
+// engine). Net itself implements transport.Marker.
+func (f *Net) Mark(label string) {
+	if m, ok := f.inner.(transport.Marker); ok {
+		m.Mark(label)
+	}
 }
 
 // Now implements transport.Network.

@@ -1,0 +1,91 @@
+package faultnet
+
+import (
+	"reflect"
+	"testing"
+
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/transport"
+)
+
+// runTracedScript executes a fixed fault script over a tiny traffic
+// pattern and returns the recorded trace.
+func runTracedScript(t *testing.T) []eventsim.TraceEntry {
+	t.Helper()
+	eng := eventsim.New(42)
+	sim := transport.NewSim(eng, transport.SimOptions{
+		Latency: func(a, b int) float64 { return 5 },
+	})
+	f := New(sim, Options{Seed: 7})
+	for a := 0; a < 4; a++ {
+		a := transport.Addr(a)
+		f.Attach(a, func(from transport.Addr, msg transport.Message) {})
+	}
+	eng.StartTrace()
+	f.Install([]Step{
+		{At: 10, Do: func(f *Net) { f.Partition([]transport.Addr{0, 1}, []transport.Addr{2, 3}) }},
+		{At: 30, Do: func(f *Net) { f.Heal() }},
+	})
+	f.CrashAt(20, 2)
+	f.RestartAt(40, 2)
+	// Background traffic so the trace seq values cover real event flow.
+	var tick func()
+	tick = func() {
+		if eng.Now() >= 50 {
+			return
+		}
+		f.Send(0, 3, 64, "ping")
+		f.After(7, tick)
+	}
+	f.After(1, tick)
+	eng.RunUntil(60)
+	return eng.StopTrace()
+}
+
+// The trace records exactly the fault actions, in script order, and a
+// deterministic replay of the same scenario reproduces it bit for bit
+// — the property the audit shrinker's replays rely on.
+func TestFaultTraceReplayIdentity(t *testing.T) {
+	first := runTracedScript(t)
+	want := []string{
+		"fault:partition 2 groups 4 addrs",
+		"fault:crash 2",
+		"fault:heal",
+		"fault:restart 2",
+	}
+	if len(first) != len(want) {
+		t.Fatalf("recorded %d marks, want %d: %v", len(first), len(want), first)
+	}
+	for i, label := range want {
+		if first[i].Label != label {
+			t.Errorf("mark %d = %q, want %q", i, first[i].Label, label)
+		}
+	}
+	second := runTracedScript(t)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("replay diverged:\nfirst:  %v\nsecond: %v", first, second)
+	}
+}
+
+// Without StartTrace, Mark is free and records nothing; no-op fault
+// actions (crash of a crashed host, heal without partition) still mark
+// nothing extra beyond their real transitions.
+func TestTraceOffAndNoopFaults(t *testing.T) {
+	eng := eventsim.New(1)
+	sim := transport.NewSim(eng, transport.SimOptions{Latency: func(a, b int) float64 { return 1 }})
+	f := New(sim, Options{})
+	f.Crash(1)
+	if got := eng.TraceLog(); len(got) != 0 {
+		t.Fatalf("marks recorded while tracing off: %v", got)
+	}
+	eng.StartTrace()
+	f.Crash(1)   // already crashed: no-op, no mark
+	f.Restart(2) // already live: no-op, no mark
+	if got := eng.TraceLog(); len(got) != 0 {
+		t.Fatalf("no-op fault actions recorded marks: %v", got)
+	}
+	f.Restart(1)
+	if got := eng.TraceLog(); len(got) != 1 || got[0].Label != "fault:restart 1" {
+		t.Fatalf("trace = %v, want the single restart", got)
+	}
+}

@@ -1,0 +1,49 @@
+package invariant
+
+// Shrink reduces a failing event sequence to a minimal reproduction
+// using delta debugging (ddmin): binary-search-style chunk removal
+// over the events, re-running the deterministic scenario on each
+// candidate subsequence. fails must report whether replaying the given
+// subsequence still reproduces the violation; it is called many times
+// and must be deterministic (same subsequence, same verdict).
+//
+// The caller guarantees that removing an arbitrary subset of events
+// leaves a replayable scenario (fault scripts have this property:
+// crashing a crashed host, healing without a partition, and restarting
+// a live host are no-ops). The result is 1-minimal: removing any
+// single remaining event no longer reproduces the violation. If the
+// full sequence does not fail, it is returned unchanged.
+func Shrink[E any](events []E, fails func([]E) bool) []E {
+	cur := append([]E(nil), events...)
+	if len(cur) == 0 || !fails(cur) {
+		return cur
+	}
+	// The violation may not need any fault events at all.
+	if fails(nil) {
+		return []E{}
+	}
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(cur); start += chunk {
+			end := min(start+chunk, len(cur))
+			cand := make([]E, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if fails(cand) {
+				cur = cand
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break // every single-event removal passes: 1-minimal
+			}
+			n = min(2*n, len(cur))
+		}
+	}
+	return cur
+}

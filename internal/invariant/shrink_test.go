@@ -1,0 +1,106 @@
+package invariant
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func contains(seq []int, v int) bool {
+	for _, e := range seq {
+		if e == v {
+			return true
+		}
+	}
+	return false
+}
+
+// The satellite self-test: a synthetic violation triggered by one known
+// event must shrink to at most 3 events (in fact to exactly that one).
+func TestShrinkIsolatesSingleEvent(t *testing.T) {
+	events := make([]int, 40)
+	for i := range events {
+		events[i] = i
+	}
+	runs := 0
+	fails := func(seq []int) bool {
+		runs++
+		return contains(seq, 17)
+	}
+	got := Shrink(events, fails)
+	if len(got) > 3 {
+		t.Fatalf("shrunk trace has %d events, want <= 3: %v", len(got), got)
+	}
+	if len(got) != 1 || got[0] != 17 {
+		t.Fatalf("shrunk trace = %v, want [17]", got)
+	}
+	if runs > 200 {
+		t.Fatalf("shrinker used %d replays for 40 events", runs)
+	}
+}
+
+// A violation needing two interacting events (crash + partition, say)
+// still shrinks to just that pair.
+func TestShrinkIsolatesPair(t *testing.T) {
+	events := make([]int, 64)
+	for i := range events {
+		events[i] = i
+	}
+	fails := func(seq []int) bool {
+		return contains(seq, 5) && contains(seq, 49)
+	}
+	got := Shrink(events, fails)
+	if len(got) != 2 || got[0] != 5 || got[1] != 49 {
+		t.Fatalf("shrunk trace = %v, want [5 49]", got)
+	}
+}
+
+func TestShrinkEdgeCases(t *testing.T) {
+	always := func([]int) bool { return true }
+	never := func([]int) bool { return false }
+	if got := Shrink([]int{1, 2, 3}, never); len(got) != 3 {
+		t.Fatalf("non-failing sequence must come back unchanged, got %v", got)
+	}
+	if got := Shrink(nil, always); len(got) != 0 {
+		t.Fatalf("empty sequence, got %v", got)
+	}
+	// A violation independent of the events shrinks to nothing.
+	if got := Shrink([]int{1, 2, 3}, always); len(got) != 0 {
+		t.Fatalf("baseline violation must shrink to zero events, got %v", got)
+	}
+}
+
+// Property test: for random monotone predicates (a random required
+// subset), the result is exactly that subset — and therefore 1-minimal.
+func TestShrinkOneMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(60)
+		events := make([]int, n)
+		for i := range events {
+			events[i] = i
+		}
+		k := 1 + rng.Intn(4)
+		need := map[int]bool{}
+		for len(need) < k {
+			need[rng.Intn(n)] = true
+		}
+		fails := func(seq []int) bool {
+			have := 0
+			for _, e := range seq {
+				if need[e] {
+					have++
+				}
+			}
+			return have == len(need)
+		}
+		got := Shrink(events, fails)
+		if len(got) != len(need) {
+			t.Fatalf("trial %d: shrunk to %v, want the %d required events %v", trial, got, len(need), need)
+		}
+		for _, e := range got {
+			if !need[e] {
+				t.Fatalf("trial %d: kept unneeded event %d", trial, e)
+			}
+		}
+	}
+}

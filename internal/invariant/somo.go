@@ -1,0 +1,155 @@
+package invariant
+
+import (
+	"fmt"
+	"sort"
+
+	"p2ppool/internal/somo"
+)
+
+// liveAgents returns the hosts with live DHT nodes that run SOMO
+// agents, sorted by ring ID.
+func (w *World) liveAgents() []int {
+	var out []int
+	for _, h := range w.liveHosts() {
+		if h < len(w.Agents) && w.Agents[h] != nil {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// checkSomoRepPath: every active node is on exactly one report path —
+// its representative is the unique highest logical node whose position
+// falls inside the node's zone, so the position must actually lie
+// there. Zones tile the ring (dht/ring-agreement), which makes the
+// paths a partition; this check guards the representative computation
+// itself and holds at every instant.
+func checkSomoRepPath(w *World) []Violation {
+	var out []Violation
+	for _, h := range w.liveAgents() {
+		a := w.Agents[h]
+		rep := a.Representative()
+		pos := rep.Position(a.Config().Fanout)
+		if !a.Node().Zone().Contains(pos) {
+			out = append(out, Violation{Check: "somo/rep-path", Host: h,
+				Detail: fmt.Sprintf("representative %v position %v outside zone %v", rep, pos, a.Node().Zone())})
+		}
+	}
+	return out
+}
+
+// checkSomoRootUnique: at quiescence exactly one live agent hosts the
+// SOMO root (during a partition each side legitimately grows its own).
+func checkSomoRootUnique(w *World) []Violation {
+	agents := w.liveAgents()
+	if len(agents) == 0 {
+		return nil
+	}
+	var roots []int
+	for _, h := range agents {
+		if w.Agents[h].IsRoot() {
+			roots = append(roots, h)
+		}
+	}
+	if len(roots) == 1 {
+		return nil
+	}
+	return []Violation{{Check: "somo/root-unique", Host: -1,
+		Detail: fmt.Sprintf("%d live agents claim the root: %v", len(roots), roots)}}
+}
+
+// somoRoot returns the unique live root agent, or nil (root-unique
+// reports the anomaly).
+func (w *World) somoRoot() *somo.Agent {
+	var root *somo.Agent
+	for _, h := range w.liveAgents() {
+		if w.Agents[h].IsRoot() {
+			if root != nil {
+				return nil
+			}
+			root = w.Agents[h]
+		}
+	}
+	return root
+}
+
+// somoStalenessBound derives the report-staleness limit from the tree
+// shape: a record climbs from its source's representative to the root,
+// one report interval per level in the unsynchronized flow, plus the
+// interval in which it was generated. The scale study established the
+// (depth+1)·T shape; the 1.5 factor absorbs the ±10% report jitter and
+// zone handoffs, and StalenessSlack absorbs routing time.
+func (w *World) somoStalenessBound() float64 {
+	maxLevel := 0
+	var interval float64
+	for _, h := range w.liveAgents() {
+		a := w.Agents[h]
+		if l := a.Representative().Level; l > maxLevel {
+			maxLevel = l
+		}
+		interval = float64(a.Config().ReportInterval)
+	}
+	return float64(maxLevel+1)*1.5*interval + float64(w.StalenessSlack)
+}
+
+// checkSomoCoverage: at quiescence the root's snapshot is fresh, holds
+// a record for every live member, and holds no record for a host that
+// has been dead longer than the record TTL plus propagation time.
+func checkSomoCoverage(w *World) []Violation {
+	root := w.somoRoot()
+	if root == nil {
+		return nil
+	}
+	snap := root.RootSnapshot()
+	cfg := root.Config()
+	var out []Violation
+	if age := float64(w.Now - snap.Time); age > 2.5*float64(cfg.ReportInterval) {
+		out = append(out, Violation{Check: "somo/coverage", Host: -1,
+			Detail: fmt.Sprintf("root snapshot is %.0fms old (interval %.0fms)", age, float64(cfg.ReportInterval))})
+	}
+	have := make(map[int]bool, len(snap.Records))
+	for _, rec := range snap.Records {
+		h := int(rec.Source.Addr)
+		have[h] = true
+		if age, ok := w.downFor(h); ok && float64(age) > float64(cfg.RecordTTL)+w.somoStalenessBound() {
+			out = append(out, Violation{Check: "somo/coverage", Host: h,
+				Detail: fmt.Sprintf("snapshot still lists host dead for %.0fms (ttl %.0fms)", float64(age), float64(cfg.RecordTTL))})
+		}
+	}
+	missing := []int(nil)
+	for _, h := range w.liveAgents() {
+		if !have[h] {
+			missing = append(missing, h)
+		}
+	}
+	sort.Ints(missing)
+	for _, h := range missing {
+		out = append(out, Violation{Check: "somo/coverage", Host: h,
+			Detail: "live member missing from root snapshot"})
+	}
+	return out
+}
+
+// checkSomoStaleness: at quiescence every live member's record in the
+// root snapshot is within the (depth+1)·T staleness bound.
+func checkSomoStaleness(w *World) []Violation {
+	root := w.somoRoot()
+	if root == nil {
+		return nil
+	}
+	snap := root.RootSnapshot()
+	bound := w.somoStalenessBound()
+	var out []Violation
+	for _, rec := range snap.Records {
+		h := int(rec.Source.Addr)
+		if !w.liveNode(h) {
+			continue // dead sources age out via TTL; coverage checks that
+		}
+		if age := float64(snap.Time - rec.Time); age > bound {
+			out = append(out, Violation{Check: "somo/staleness", Host: h,
+				Detail: fmt.Sprintf("record is %.0fms old, bound %.0fms", age, bound)})
+		}
+	}
+	return out
+}

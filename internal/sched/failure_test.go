@@ -3,6 +3,8 @@ package sched
 import (
 	"math/rand"
 	"testing"
+
+	"p2ppool/internal/alm"
 )
 
 func TestRegistryDeadHost(t *testing.T) {
@@ -189,4 +191,67 @@ func TestNodeRecoveredRejoinsMarket(t *testing.T) {
 	sc.Reschedule()
 	planAndCheck(t, sc)
 	checkSession(t, sc, s)
+}
+
+// TestNodeFailedIdempotent pins the double-detection contract: a crash
+// is reported once by heartbeat loss and again by partition detection,
+// and the second NodeFailed for the same host must be a no-op. The
+// dangerous configuration is a session whose in-place repair failed
+// (orphan batch larger than the surviving tree's spare degree): its
+// stale tree still names the dead host, so a non-idempotent NodeFailed
+// counts a second replan for the same failure. Fails against the
+// pre-guard code with Replans == 2.
+func TestNodeFailedIdempotent(t *testing.T) {
+	bounds := []int{2, 4, 1, 1, 1}
+	lat := func(a, b int) float64 { return 1 }
+	sc := NewScheduler(bounds, lat, Config{})
+
+	// Hand-built plan: helper host 1 fans out to all three members, so
+	// killing it orphans more subtrees than the survivors can adopt
+	// (root can take 2, members are leaf-bound at 1).
+	s := &Session{ID: 1, Priority: 2, Root: 0, Members: []int{2, 3, 4}}
+	tree := alm.NewTree(0)
+	for _, e := range [][2]int{{1, 0}, {2, 1}, {3, 1}, {4, 1}} {
+		if err := tree.Attach(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Tree = tree
+	sc.sessions[s.ID] = s
+	if err := sc.reserveTree(s, tree, s.memberSet()); err != nil {
+		t.Fatal(err)
+	}
+
+	first := sc.NodeFailed(1)
+	if len(first) != 1 || first[0] != s.ID {
+		t.Fatalf("first NodeFailed affected %v, want [%d]", first, s.ID)
+	}
+	if s.Replans != 1 {
+		t.Fatalf("after first failure Replans = %d, want 1", s.Replans)
+	}
+	if !sc.dirty[s.ID] {
+		t.Fatal("failed repair must leave the session dirty for a full replan")
+	}
+	if got := sc.Registry().HeldBy(s.ID); got != 0 {
+		t.Fatalf("failed repair left %d slots reserved", got)
+	}
+
+	// Second detection path fires for the same host.
+	second := sc.NodeFailed(1)
+	if len(second) != 0 {
+		t.Fatalf("second NodeFailed affected %v, want none", second)
+	}
+	if s.Replans != 1 {
+		t.Fatalf("double detection double-counted: Replans = %d, want 1", s.Replans)
+	}
+	if got := sc.Registry().HeldBy(s.ID); got != 0 {
+		t.Fatalf("second NodeFailed changed reservations: %d slots", got)
+	}
+
+	// After a genuine recovery the next failure counts again.
+	sc.NodeRecovered(1)
+	third := sc.NodeFailed(1)
+	if len(third) != 1 || s.Replans != 2 {
+		t.Fatalf("post-recovery failure: affected %v, Replans = %d; want [1], 2", third, s.Replans)
+	}
 }

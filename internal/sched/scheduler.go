@@ -179,6 +179,19 @@ func (sc *Scheduler) Sessions() []*Session {
 	return out
 }
 
+// DirtySessions returns the IDs currently marked for replan, sorted.
+// A dirty session's tree and reservations are transiently stale until
+// the next Stabilize; invariant audits use this to scope their
+// plan-consistency checks.
+func (sc *Scheduler) DirtySessions() []SessionID {
+	out := make([]SessionID, 0, len(sc.dirty))
+	for id := range sc.dirty {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // AddSession admits a session (it will be planned on the next
 // Stabilize).
 func (sc *Scheduler) AddSession(s *Session) error {
@@ -301,6 +314,14 @@ func (sc *Scheduler) Stabilize() (plans int, err error) {
 // Replans counter is incremented. The affected session IDs (including
 // removed ones) are returned in priority-then-ID order.
 func (sc *Scheduler) NodeFailed(host int) []SessionID {
+	// Failure detection fires from several independent paths (heartbeat
+	// loss, partition detection); a host already processed must be a
+	// no-op or a session whose in-place repair failed — its stale tree
+	// still naming the host — would count a second replan for the same
+	// failure.
+	if sc.reg.Dead(host) {
+		return nil
+	}
 	sc.cNodeFailures.Inc()
 	sc.reg.SetDead(host)
 	order := sc.Sessions()

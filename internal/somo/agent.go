@@ -237,6 +237,10 @@ func (a *Agent) Instrument(reg *obs.Registry) {
 // Node returns the DHT node this agent runs on.
 func (a *Agent) Node() *dht.Node { return a.node }
 
+// Config returns the agent's effective configuration (defaults
+// applied). Invariant checks derive staleness and TTL bounds from it.
+func (a *Agent) Config() Config { return a.cfg }
+
 // Representative returns the logical tree node this member currently
 // represents (recomputed from the live zone, so churn is reflected
 // immediately).
@@ -445,10 +449,18 @@ func (a *Agent) refreshRoot() {
 	}
 }
 
-// pullChildren (synchronized mode) nudges known children to report now.
+// pullChildren (synchronized mode) nudges known children to report
+// now. Pulls go out in ring-ID order: knownChildren is a map, and
+// ranging it directly would make the wave's event order depend on map
+// iteration, breaking run-to-run determinism.
 func (a *Agent) pullChildren() {
-	for _, e := range a.knownChildren {
-		a.node.SendApp(e, 32, pullMsg{})
+	keys := make([]ids.ID, 0, len(a.knownChildren))
+	for id := range a.knownChildren {
+		keys = append(keys, id)
+	}
+	slices.Sort(keys)
+	for _, id := range keys {
+		a.node.SendApp(a.knownChildren[id], 32, pullMsg{})
 	}
 }
 
