@@ -32,7 +32,9 @@ obs:
 	$(GO) run ./cmd/experiments -fig obs -trace 20 -seed 1
 
 # Scale study: the full protocol stack (pool + DHT + SOMO + ALM
-# planning) swept from the paper's 1200 hosts to 12000. Opt-in (never
+# planning) swept from the paper's 1200 hosts to 100000, with the
+# router substrate scaling in proportion (coordinate latency oracle +
+# sharded event loop past the exact-table threshold). Opt-in (never
 # part of "all"); same seed => byte-identical table for any -workers.
 scale:
 	$(GO) run ./cmd/experiments -fig scale -seed 1
@@ -46,11 +48,14 @@ audit:
 	$(GO) run ./cmd/experiments -fig audit -seed 1
 
 # Machine-readable bench trajectory: per-size wall time, allocations,
-# events/sec and peak RSS, written to BENCH_scale.json (schema
-# bench-scale/v1, documented in internal/experiments/scale.go). Bench
-# mode forces sequential cells so the measurements are honest.
+# events/sec, live heap and OS peak RSS, appended to BENCH_scale.json
+# as a labeled run (schema bench-scale/v2, documented in
+# internal/experiments/scale.go) so the file accumulates the per-PR
+# history. Cells run sequentially so the measurements are honest.
+# Override the label with `make bench-json BENCH_LABEL=mybranch`.
+BENCH_LABEL ?= pr6
 bench-json:
-	$(GO) run ./cmd/experiments -fig scale -seed 1 -benchjson BENCH_scale.json
+	$(GO) run ./cmd/experiments -fig scale -seed 1 -benchjson BENCH_scale.json -bench-label $(BENCH_LABEL)
 
 # CPU+heap profiles of the full figure set; inspect with
 # `go tool pprof cpu.pprof`.
@@ -59,13 +64,18 @@ profile:
 
 # The obs smoke run doubles as an end-to-end check that metrics +
 # tracing assemble a dashboard out of the SOMO root snapshot; the bench
-# smoke compiles and single-iterates every benchmark; the scale smoke
-# runs the paper-size cell (N=1200) of the scale study end to end; the
-# audit runs the full 20-seed invariant sweep under the race detector
-# (it exits nonzero on any violation — rerun `make audit` to see the
-# shrunk reproduction).
+# smoke compiles and single-iterates every benchmark; the first scale
+# smoke runs the paper-size cell (N=1200, exact oracle) end to end; the
+# second runs the N=30000 cell time-boxed to 5 simulated seconds, which
+# forces the coordinate latency oracle (~15k routers, past the exact
+# threshold) and the sharded event loop through a real ring; the audit
+# runs the full 20-seed invariant sweep under the race detector (it
+# exits nonzero on any violation — rerun `make audit` to see the
+# shrunk reproduction). Race coverage for the shard code itself lives
+# in the eventsim/transport package tests, which `race` runs.
 ci: build vet test race
 	$(GO) run ./cmd/experiments -fig obs -seed 1 > /dev/null
 	$(GO) test -bench=. -benchtime=1x -run '^$$' . > /dev/null
 	$(GO) run ./cmd/experiments -fig scale -hosts 1200 -scale-runtime 30 -seed 1 > /dev/null
+	$(GO) run ./cmd/experiments -fig scale -hosts 30000 -scale-runtime 5 -seed 1 > /dev/null
 	$(GO) run -race ./cmd/experiments -fig audit -seed 1 > /dev/null

@@ -486,6 +486,88 @@ type fanoutMsg struct{}
 
 func (fanoutMsg) Type() string { return "bench.fanout" }
 
+// BenchmarkLatencyOracle measures per-query cost of the three latency
+// oracles on the same 1464-router graph: exact (table load), ondemand
+// (LRU hit / Dijkstra miss mix) and coords (O(dim) flops). Build cost
+// is excluded; the memory trade is the scale study's subject.
+func BenchmarkLatencyOracle(b *testing.B) {
+	kinds := []topology.OracleKind{
+		topology.OracleExact, topology.OracleOnDemand, topology.OracleCoords,
+	}
+	for _, kind := range kinds {
+		b.Run(kind.String(), func(b *testing.B) {
+			cfg := topology.DefaultConfig()
+			cfg.StubDomainsPerTransit = 10 // 1464 routers
+			cfg.Hosts = 400
+			cfg.Oracle = kind
+			net, err := topology.Generate(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nr := net.NumRouters()
+			r := rand.New(rand.NewSource(1))
+			pairs := make([][2]int, 4096)
+			for i := range pairs {
+				pairs[i] = [2]int{r.Intn(nr), r.Intn(nr)}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			sink := 0.0
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				sink += net.RouterLatency(p[0], p[1])
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkShardedEventLoop measures the conservative-PDES ring: a
+// periodic cross-shard messaging workload over 8 shards, advanced one
+// simulated second per iteration, serial vs parallel shard execution.
+func BenchmarkShardedEventLoop(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "workers=1"
+		if workers == 0 {
+			name = "workers=NumCPU"
+		}
+		b.Run(name, func(b *testing.B) {
+			const hosts = 512
+			sim := transport.NewShardedSim(transport.ShardedSimOptions{
+				Latency: func(a, c int) float64 {
+					if a == c {
+						return 0
+					}
+					return 6 + float64((a*31+c*17)%40)
+				},
+				Shards:    8,
+				Lookahead: 6,
+				Workers:   workers,
+				Seed:      1,
+			})
+			for h := 0; h < hosts; h++ {
+				h := h
+				a := transport.Addr(h)
+				net := sim.View(a)
+				net.Attach(a, func(from transport.Addr, msg transport.Message) {})
+				seq := 0
+				var tick func()
+				tick = func() {
+					net.Send(a, transport.Addr((h*7+seq*13+1)%hosts), 64, fanoutMsg{})
+					seq++
+					net.After(10, tick)
+				}
+				net.After(eventsim.Time(h%10), tick)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.RunUntil(sim.Now() + eventsim.Second)
+			}
+		})
+	}
+}
+
 // --- helpers shared by benches ---
 
 func ringNeighborsBench(n, L int, r *rand.Rand) func(i int) []int {

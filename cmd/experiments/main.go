@@ -47,8 +47,9 @@ func main() {
 
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		benchJSON = flag.String("benchjson", "", "write the scale study's bench trajectory (bench-scale/v1 JSON) to this file; enables per-cell wall/alloc measurement and forces sequential cells")
-		scaleRT   = flag.Int("scale-runtime", 0, "scale figure: simulated seconds per ring (0 = default 60)")
+		benchJSON  = flag.String("benchjson", "", "append the scale study's bench trajectory to this bench-scale/v2 JSON file (existing runs are kept); enables per-cell wall/alloc/memory measurement")
+		benchLabel = flag.String("bench-label", "dev", "label for the bench run appended to -benchjson (a run with the same label is replaced)")
+		scaleRT    = flag.Int("scale-runtime", 0, "scale figure: simulated seconds per ring (0 = default 60)")
 	)
 	flag.Parse()
 
@@ -199,14 +200,18 @@ func main() {
 					return nil, err
 				}
 				if *benchJSON != "" {
-					out, err := res.BenchJSON()
+					existing, err := os.ReadFile(*benchJSON)
+					if err != nil && !os.IsNotExist(err) {
+						return nil, err
+					}
+					out, err := res.AppendBenchJSON(existing, *benchLabel)
 					if err != nil {
 						return nil, err
 					}
 					if err := os.WriteFile(*benchJSON, out, 0o644); err != nil {
 						return nil, err
 					}
-					fmt.Fprintf(os.Stderr, "wrote %s\n", *benchJSON)
+					fmt.Fprintf(os.Stderr, "wrote %s (run %q)\n", *benchJSON, *benchLabel)
 				}
 				return res, nil
 			})

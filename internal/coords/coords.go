@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"p2ppool/internal/par"
 )
 
 // Vector is a network coordinate in d-dimensional Euclidean space.
@@ -73,6 +75,21 @@ type GNPConfig struct {
 	// Spread of the random initial box; should be on the order of the
 	// network diameter in milliseconds.
 	Spread float64
+	// RelativeError switches the objective from the paper's Σ|d_p - d_m|
+	// to Σ|d_p - d_m|/d_m, the form that keeps short distances from
+	// being drowned out by the few long cross-transit paths (the same
+	// switch LeafsetConfig exposes).
+	RelativeError bool
+	// MaxIter bounds each per-point simplex refinement (0 means the
+	// simplex default, 400 evaluations per dimension). Large embeddings
+	// (the topology latency oracle at tens of thousands of routers) cap
+	// it to bound build time.
+	MaxIter int
+	// Workers bounds the goroutines used for the non-landmark solves;
+	// <= 0 means runtime.NumCPU(). Every start coordinate is drawn
+	// sequentially before the fan-out and each solve writes only its own
+	// slot, so the result is identical for any worker count.
+	Workers int
 }
 
 func (c GNPConfig) withDefaults() GNPConfig {
@@ -109,6 +126,7 @@ func SolveGNP(lat LatencyFunc, n int, landmarks []int, cfg GNPConfig) ([]Vector,
 	for i := range lm {
 		lm[i] = randomVector(cfg.Dim, cfg.Spread, r)
 	}
+	opt := SimplexOptions{MaxIter: cfg.MaxIter}
 	for round := 0; round < cfg.Rounds; round++ {
 		for i := range landmarks {
 			refs := make([]Vector, 0, len(landmarks)-1)
@@ -120,18 +138,28 @@ func SolveGNP(lat LatencyFunc, n int, landmarks []int, cfg GNPConfig) ([]Vector,
 				refs = append(refs, lm[j])
 				meas = append(meas, lat(landmarks[i], landmarks[j]))
 			}
-			lm[i] = solveOwn(lm[i], refs, meas, SimplexOptions{})
+			lm[i] = solveOwnObj(lm[i], refs, meas, opt, cfg.RelativeError)
 		}
 	}
 
-	// Phase 2: every host against the landmarks.
+	// Phase 2: every host against the landmarks. The solves are
+	// independent given the fixed landmark coordinates, so they fan out
+	// over the worker pool; start coordinates are pre-drawn sequentially
+	// in host order (the simplex itself draws no randomness), which makes
+	// the output identical to the sequential loop for any worker count.
 	out := make([]Vector, n)
 	for i := range landmarks {
 		out[landmarks[i]] = lm[i]
 	}
+	starts := make([]Vector, n)
 	for h := 0; h < n; h++ {
+		if out[h] == nil {
+			starts[h] = randomVector(cfg.Dim, cfg.Spread, r)
+		}
+	}
+	par.ForEach(cfg.Workers, n, func(h int) {
 		if out[h] != nil {
-			continue
+			return
 		}
 		refs := make([]Vector, len(landmarks))
 		meas := make([]float64, len(landmarks))
@@ -139,8 +167,8 @@ func SolveGNP(lat LatencyFunc, n int, landmarks []int, cfg GNPConfig) ([]Vector,
 			refs[j] = lm[j]
 			meas[j] = lat(h, l)
 		}
-		out[h] = solveOwn(randomVector(cfg.Dim, cfg.Spread, r), refs, meas, SimplexOptions{})
-	}
+		out[h] = solveOwnObj(starts[h], refs, meas, opt, cfg.RelativeError)
+	})
 	return out, nil
 }
 

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"p2ppool/internal/stats"
-	"p2ppool/internal/topology"
 )
 
 func TestDist(t *testing.T) {
@@ -155,37 +154,6 @@ func TestSolveLeafsetIsolatedNode(t *testing.T) {
 	}
 	if len(got) != 4 || got[0] == nil {
 		t.Fatal("isolated node lost its coordinate")
-	}
-}
-
-func TestGNPOnTransitStub(t *testing.T) {
-	// On a real (non-embeddable) topology GNP cannot be exact, but the
-	// median relative error should still be modest — this is the
-	// qualitative Figure 4 claim.
-	cfg := topology.DefaultConfig()
-	cfg.Hosts = 200
-	net, err := topology.Generate(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r := rand.New(rand.NewSource(9))
-	landmarks := make([]int, 0, 16)
-	seen := map[int]bool{}
-	for len(landmarks) < 16 {
-		h := r.Intn(cfg.Hosts)
-		if !seen[h] {
-			seen[h] = true
-			landmarks = append(landmarks, h)
-		}
-	}
-	got, err := SolveGNP(net.Latency, cfg.Hosts, landmarks, GNPConfig{Dim: 5, Seed: 10})
-	if err != nil {
-		t.Fatal(err)
-	}
-	errs := PairErrors(got, net.Latency, RandomPairs(cfg.Hosts, 500, r))
-	med := stats.Median(errs)
-	if med > 0.35 {
-		t.Errorf("GNP median relative error on transit-stub %.3f, want < 0.35", med)
 	}
 }
 

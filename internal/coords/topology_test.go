@@ -1,0 +1,94 @@
+package coords_test
+
+// Tests that judge the embedding against a real (non-Euclidean)
+// transit-stub topology. These live in an external test package:
+// internal/topology now imports coords for its coordinate latency
+// oracle, so an internal coords test cannot import topology back.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"p2ppool/internal/coords"
+	"p2ppool/internal/stats"
+	"p2ppool/internal/topology"
+)
+
+func TestGNPOnTransitStub(t *testing.T) {
+	// On a real (non-embeddable) topology GNP cannot be exact, but the
+	// median relative error should still be modest — this is the
+	// qualitative Figure 4 claim.
+	cfg := topology.DefaultConfig()
+	cfg.Hosts = 200
+	net, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	landmarks := make([]int, 0, 16)
+	seen := map[int]bool{}
+	for len(landmarks) < 16 {
+		h := r.Intn(cfg.Hosts)
+		if !seen[h] {
+			seen[h] = true
+			landmarks = append(landmarks, h)
+		}
+	}
+	got, err := coords.SolveGNP(net.Latency, cfg.Hosts, landmarks, coords.GNPConfig{Dim: 5, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := coords.PairErrors(got, net.Latency, coords.RandomPairs(cfg.Hosts, 500, r))
+	med := stats.Median(errs)
+	if med > 0.35 {
+		t.Errorf("GNP median relative error on transit-stub %.3f, want < 0.35", med)
+	}
+}
+
+// TestRouterEmbeddingErrorDistribution is the error-budget regression
+// gate for the coordinate latency oracle's ingredients: embed the
+// routers of a scaled transit-stub graph with the relative-error GNP
+// solve (the exact recipe topology's coords oracle runs) and pin the
+// p50/p90 relative error against exact Dijkstra over ≥1000 sampled
+// router pairs at a fixed seed. If a solver change degrades the
+// embedding past the budget the scale study depends on, this fails.
+func TestRouterEmbeddingErrorDistribution(t *testing.T) {
+	cfg := topology.DefaultConfig()
+	cfg.StubDomainsPerTransit = 10 // 1464 routers — a mid-scale graph
+	cfg.Hosts = 100                // hosts are irrelevant here
+	cfg.Oracle = topology.OracleExact
+	net, err := topology.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr := net.NumRouters()
+	r := rand.New(rand.NewSource(11))
+	landmarks := make([]int, 0, 24)
+	seen := map[int]bool{}
+	for len(landmarks) < cap(landmarks) {
+		x := r.Intn(nr)
+		if !seen[x] {
+			seen[x] = true
+			landmarks = append(landmarks, x)
+		}
+	}
+	vecs, err := coords.SolveGNP(net.RouterLatency, nr, landmarks, coords.GNPConfig{
+		Dim: 8, Rounds: 24, Seed: 12, Spread: 300,
+		RelativeError: true, MaxIter: 1600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := coords.PairErrors(vecs, net.RouterLatency, coords.RandomPairs(nr, 1200, r))
+	sort.Float64s(errs)
+	p50 := errs[len(errs)/2]
+	p90 := errs[len(errs)*9/10]
+	t.Logf("router embedding relative error: p50=%.3f p90=%.3f over %d pairs", p50, p90, len(errs))
+	if p50 > 0.15 {
+		t.Errorf("p50 relative error %.3f exceeds the 15%% budget", p50)
+	}
+	if p90 > 0.50 {
+		t.Errorf("p90 relative error %.3f exceeds the 50%% budget", p90)
+	}
+}

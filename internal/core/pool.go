@@ -45,11 +45,40 @@ type Status struct {
 	DegreeBound int
 }
 
+// CoordSolver selects how BuildFast computes member coordinates.
+type CoordSolver int
+
+const (
+	// SolverAuto picks leafset relaxation up to solverLeafsetMax hosts
+	// and landmark GNP beyond — the default.
+	SolverAuto CoordSolver = iota
+	// SolverLeafset runs the round-based leafset relaxation (the
+	// deterministic equivalent of the live PIC protocol). Sequential:
+	// each round's solves feed the next node's references in order.
+	SolverLeafset
+	// SolverGNP runs the landmark GNP solve: a few dozen landmark
+	// hosts, every other host solved independently against them. The
+	// per-host solves parallelize perfectly, which is what makes
+	// 100k-host pool construction tractable.
+	SolverGNP
+)
+
+// solverLeafsetMax is the host count up to which SolverAuto keeps the
+// leafset relaxation: it covers the paper's sizes and the established
+// scale rows; past it the sequential relaxation dominates build time.
+const solverLeafsetMax = 12000
+
 // Options configures pool construction.
 type Options struct {
 	// Topology generates the underlay; zero value means the paper's
 	// default (600 routers, 1200 hosts).
 	Topology topology.Config
+	// Oracle overrides the topology's latency-oracle choice when the
+	// Topology field is left zero (otherwise set Topology.Oracle
+	// directly).
+	Oracle topology.OracleKind
+	// CoordSolver selects the fast-construction coordinate solver.
+	CoordSolver CoordSolver
 	// Bandwidth mixes the host capacity population; zero means the
 	// Gnutella-like default.
 	Bandwidth netmodel.Options
@@ -72,6 +101,7 @@ func (o Options) withDefaults() Options {
 	if o.Topology.Hosts == 0 {
 		top := topology.DefaultConfig()
 		top.Seed = o.Seed
+		top.Oracle = o.Oracle
 		o.Topology = top
 	}
 	if o.Topology.Workers == 0 {
@@ -136,19 +166,65 @@ func BuildFast(opts Options) (*Pool, error) {
 	p.Degrees = alm.PaperDegrees(net.NumHosts(), r)
 
 	neighbors := ringNeighbors(net.NumHosts(), 2*opts.LeafsetRadius, r)
-	p.Coords, err = coords.SolveLeafset(net.Latency, net.NumHosts(), neighbors, coords.LeafsetConfig{
-		Dim:    opts.CoordDim,
-		Rounds: opts.CoordRounds,
-		Seed:   opts.Seed + 3,
-		// A full leafset's worth of early joiners can all measure each
-		// other, forming the bootstrap core.
-		Core: 2*opts.LeafsetRadius + 1,
-	})
+	solver := opts.CoordSolver
+	if solver == SolverAuto {
+		if net.NumHosts() > solverLeafsetMax {
+			solver = SolverGNP
+		} else {
+			solver = SolverLeafset
+		}
+	}
+	switch solver {
+	case SolverGNP:
+		p.Coords, err = solveGNPHosts(net, opts)
+	default:
+		p.Coords, err = coords.SolveLeafset(net.Latency, net.NumHosts(), neighbors, coords.LeafsetConfig{
+			Dim:    opts.CoordDim,
+			Rounds: opts.CoordRounds,
+			Seed:   opts.Seed + 3,
+			// A full leafset's worth of early joiners can all measure each
+			// other, forming the bootstrap core.
+			Core: 2*opts.LeafsetRadius + 1,
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
 	p.Bandwidth = bandwidth.EstimateAll(model, neighbors, 1500, rand.New(rand.NewSource(opts.Seed+4)))
 	return p, nil
+}
+
+// solveGNPHosts computes member coordinates with the landmark GNP
+// solve: 32 landmark hosts measure each other and everyone solves
+// against them. Host solves are independent, so they fan out over
+// opts.Workers with pre-drawn starting points — the result is
+// byte-identical for any worker count.
+func solveGNPHosts(net *topology.Network, opts Options) ([]coords.Vector, error) {
+	n := net.NumHosts()
+	r := rand.New(rand.NewSource(opts.Seed + 3))
+	nLM := 32
+	if nLM > n {
+		nLM = n
+	}
+	lms := r.Perm(n)[:nLM]
+	sort.Ints(lms)
+	spread := 0.0
+	for _, a := range lms {
+		for _, b := range lms {
+			if d := net.Latency(a, b); d > spread {
+				spread = d
+			}
+		}
+	}
+	return coords.SolveGNP(net.Latency, n, lms, coords.GNPConfig{
+		Dim:           opts.CoordDim,
+		Rounds:        24,
+		Seed:          opts.Seed + 3,
+		Spread:        spread / 2,
+		RelativeError: true,
+		MaxIter:       1600,
+		Workers:       opts.Workers,
+	})
 }
 
 // ringNeighbors places hosts on a random ring and returns each host's

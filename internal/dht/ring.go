@@ -32,6 +32,15 @@ func RandomIDs(n int, r *rand.Rand) []ids.ID {
 // The returned slice is ordered by ring ID (ascending), which makes the
 // i-th node's successor the (i+1 mod n)-th.
 func BuildRing(net transport.Network, nodeIDs []ids.ID, addrs []transport.Addr, cfg Config) ([]*Node, error) {
+	return BuildRingOn(func(transport.Addr) transport.Network { return net }, nodeIDs, addrs, cfg)
+}
+
+// BuildRingOn is BuildRing for partitioned networks: netFor maps each
+// address to the Network that node must attach to (a shard view of a
+// transport.ShardedSim, or a constant for the single-engine case).
+// Every per-node environment interaction — clock, timers, randomness —
+// goes through that node's own network.
+func BuildRingOn(netFor func(transport.Addr) transport.Network, nodeIDs []ids.ID, addrs []transport.Addr, cfg Config) ([]*Node, error) {
 	if len(nodeIDs) != len(addrs) {
 		return nil, fmt.Errorf("dht: %d ids but %d addrs", len(nodeIDs), len(addrs))
 	}
@@ -58,7 +67,7 @@ func BuildRing(net transport.Network, nodeIDs []ids.ID, addrs []transport.Addr, 
 
 	nodes := make([]*Node, len(pairs))
 	for i, p := range pairs {
-		nodes[i] = NewNode(net, p.id, p.addr, cfg)
+		nodes[i] = NewNode(netFor(p.addr), p.id, p.addr, cfg)
 	}
 	n := len(nodes)
 	for i, nd := range nodes {
@@ -66,11 +75,12 @@ func BuildRing(net transport.Network, nodeIDs []ids.ID, addrs []transport.Addr, 
 		if r > n-1 {
 			r = n - 1
 		}
+		now := nd.net.Now()
 		for k := 1; k <= r; k++ {
 			succ := nodes[(i+k)%n].self
 			pred := nodes[(i-k+n)%n].self
-			nd.neighbors[succ.ID] = &neighbor{entry: succ, lastHeard: net.Now()}
-			nd.neighbors[pred.ID] = &neighbor{entry: pred, lastHeard: net.Now()}
+			nd.neighbors[succ.ID] = &neighbor{entry: succ, lastHeard: now}
+			nd.neighbors[pred.ID] = &neighbor{entry: pred, lastHeard: now}
 		}
 		nd.rebuild()
 	}

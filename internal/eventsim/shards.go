@@ -1,0 +1,106 @@
+// Conservative parallel discrete-event simulation: a ShardGroup runs K
+// independent Engines in lockstep windows. Within a window, shards
+// execute concurrently — safe because the partitioning layer above
+// (transport.ShardedSim) guarantees a window never exceeds the
+// lookahead, the minimum cross-shard latency, so no event fired inside
+// a window can affect another shard within the same window. At each
+// window barrier a single-threaded flush hands buffered cross-shard
+// messages to their target engines.
+//
+// Determinism does not depend on the worker count: each engine is
+// seeded independently, engines never share mutable state inside a
+// window, and the flush runs serially in shard-index order. Workers
+// only decides how many engines advance concurrently; the event order
+// each engine observes is identical for -workers 1 and -workers 16.
+package eventsim
+
+import (
+	"fmt"
+
+	"p2ppool/internal/par"
+)
+
+// ShardGroup is a set of lockstep engines advancing under a shared
+// virtual clock. Create with NewShardGroup.
+type ShardGroup struct {
+	engines []*Engine
+	workers int
+	now     Time
+	counts  []uint64 // per-shard scratch for window event counts
+}
+
+// NewShardGroup returns shards engines, each seeded deterministically
+// from seed and the shard index. workers bounds how many shards advance
+// concurrently per window (<= 1 means serial execution; the results are
+// identical either way).
+func NewShardGroup(shards int, seed int64, workers int) *ShardGroup {
+	if shards <= 0 {
+		panic(fmt.Sprintf("eventsim: shard count %d", shards))
+	}
+	g := &ShardGroup{
+		engines: make([]*Engine, shards),
+		workers: workers,
+		counts:  make([]uint64, shards),
+	}
+	for i := range g.engines {
+		// Distinct streams per shard: a large odd stride keeps seeds for
+		// different (seed, shard) pairs from colliding across runs.
+		g.engines[i] = New(seed + int64(i)*1000003)
+	}
+	return g
+}
+
+// Len returns the number of shards.
+func (g *ShardGroup) Len() int { return len(g.engines) }
+
+// Engine returns shard i's engine. Callers may schedule on it freely
+// between RunUntil calls and from within that engine's own events; they
+// must not touch another shard's engine while a window is running.
+func (g *ShardGroup) Engine(i int) *Engine { return g.engines[i] }
+
+// Now returns the group clock: the last window barrier reached.
+func (g *ShardGroup) Now() Time { return g.now }
+
+// Processed returns the total events executed across shards, summed in
+// shard order.
+func (g *ShardGroup) Processed() uint64 {
+	var n uint64
+	for _, e := range g.engines {
+		n += e.Processed()
+	}
+	return n
+}
+
+// RunUntil advances all shards to deadline in lockstep windows of the
+// given size (the caller's lookahead). Within a window the engines run
+// concurrently; at each barrier flush (may be nil) is invoked once,
+// single-threaded, with the barrier time — the partitioning layer
+// delivers buffered cross-shard messages there by scheduling them on
+// target engines at their arrival times (>= the barrier, or causality
+// would break). It returns the number of events executed.
+func (g *ShardGroup) RunUntil(deadline, window Time, flush func(limit Time)) uint64 {
+	if window <= 0 {
+		panic(fmt.Sprintf("eventsim: window %v", window))
+	}
+	if deadline < g.now {
+		panic(fmt.Sprintf("eventsim: deadline %v before group clock %v", deadline, g.now))
+	}
+	var total uint64
+	for g.now < deadline {
+		limit := g.now + window
+		if limit > deadline {
+			limit = deadline
+		}
+		par.ForEach(g.workers, len(g.engines), func(i int) {
+			g.counts[i] = g.engines[i].RunUntil(limit)
+		})
+		for _, c := range g.counts {
+			total += c
+		}
+		g.now = limit
+		if flush != nil {
+			flush(limit)
+		}
+	}
+	return total
+}

@@ -87,13 +87,35 @@ func TestSOMOWorkerDeterminism(t *testing.T) {
 	})
 }
 
+// The scale study runs its ring on the sharded event loop, so its
+// worker invariant covers the conservative-PDES path: 8 shards
+// advancing in lockstep windows must produce byte-identical tables
+// whether they execute on 1, 4 or 16 workers (which also exercises
+// more workers than shards).
 func TestScaleWorkerDeterminism(t *testing.T) {
-	assertWorkerInvariant(t, func(w int) (Result, error) {
+	if testing.Short() {
+		t.Skip("three-way sharded-loop sweep is slow; covered by the long run")
+	}
+	run := func(w int) (Result, error) {
 		return Scale(ScaleOptions{
 			Sizes: []int{200, 400}, Runtime: 30 * eventsim.Second, GroupSize: 20,
 			Seed: 1, Workers: w,
 		})
-	})
+	}
+	base, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(base)
+	for _, w := range []int{4, 16} {
+		res, err := run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderAll(res); got != want {
+			t.Errorf("scale output differs between Workers=1 and Workers=%d:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s", w, want, w, got)
+		}
+	}
 }
 
 // The audit is held to a stricter standard than the figures — the

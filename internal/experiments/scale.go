@@ -4,28 +4,37 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"p2ppool/internal/core"
 	"p2ppool/internal/dht"
 	"p2ppool/internal/eventsim"
-	"p2ppool/internal/par"
 	"p2ppool/internal/somo"
 	"p2ppool/internal/topology"
 	"p2ppool/internal/transport"
 )
 
 // ScaleOptions parameterizes the scale study: the same protocol stack
-// the paper evaluates at 1,200 hosts, swept an order of magnitude up.
-// The point is the paper's self-scaling claim — per-node overhead is
-// O(log N) — demonstrated rather than asserted: paper-shape metrics
-// (SOMO gather staleness, fig-8-style ALM improvement) must stay flat
-// while N grows 10×, and the harness's own cost (events/sec, allocs)
-// must not degrade super-linearly.
+// the paper evaluates at 1,200 hosts, swept nearly two orders of
+// magnitude up. The point is the paper's self-scaling claim — per-node
+// overhead is O(log N) — demonstrated rather than asserted: paper-shape
+// metrics (SOMO gather staleness, fig-8-style ALM improvement) must
+// stay flat while N grows, and the harness's own cost (events/sec,
+// allocs, memory) must not degrade super-linearly.
+//
+// Unlike the classic figures, the router substrate scales with the
+// pool: hosts:routers stays ≈ 2:1 as in the paper's 1200:600 setup, so
+// at N=100,000 there are ~50,000 routers — the regime where an eager
+// all-pairs latency table (20 GB) is impossible and the topology's
+// coordinate oracle takes over. Each row reports which oracle served
+// it and the oracle's measured error against exact Dijkstra.
 type ScaleOptions struct {
 	// Sizes are the pool sizes to sweep (default 1200, 3000, 6000,
-	// 12000 — the paper's population and 2.5×/5×/10×).
+	// 12000, 30000, 100000).
 	Sizes []int
 	// Runtime is how long each ring runs (default 60 simulated
 	// seconds — 12 SOMO reporting intervals, enough for records to
@@ -37,20 +46,22 @@ type ScaleOptions struct {
 	// (default 100, the mid-size group of Figure 8).
 	GroupSize int
 	Seed      int64
-	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
-	// table output is identical for any worker count.
+	// Workers bounds intra-cell parallelism: the topology build, the
+	// coordinate solves and the sharded event loop. Cells always run
+	// one at a time (each cell saturates the machine on its own, and
+	// sequential cells keep wall/alloc/RSS readings honest). The table
+	// output is identical for any worker count.
 	Workers int
-	// Bench additionally collects wall-clock, allocation and events/sec
-	// measurements per cell. Cells then run sequentially (one at a time)
-	// so the numbers are honest; the bench fields never appear in
-	// Tables() output — they go to BenchJSON — so determinism contracts
-	// are unaffected.
+	// Bench additionally collects wall-clock, allocation, events/sec
+	// and memory measurements per cell. The bench fields never appear
+	// in Tables() output — they go to the bench JSON — so determinism
+	// contracts are unaffected.
 	Bench bool
 }
 
 func (o ScaleOptions) withDefaults() ScaleOptions {
 	if len(o.Sizes) == 0 {
-		o.Sizes = []int{1200, 3000, 6000, 12000}
+		o.Sizes = []int{1200, 3000, 6000, 12000, 30000, 100000}
 	}
 	if o.Runtime <= 0 {
 		o.Runtime = 60 * eventsim.Second
@@ -64,12 +75,46 @@ func (o ScaleOptions) withDefaults() ScaleOptions {
 	return o
 }
 
+// scaleShards is the ring's structural shard count. It partitions
+// hosts across engines, so — like a seed — it is part of the study's
+// identity and never derived from Workers: the output is byte-identical
+// whether the 8 shards execute on 1 core or 16.
+const scaleShards = 8
+
+// scaleTopology builds cell n's underlay config: the paper's constants
+// with the stub tier widened so hosts:routers stays ≈ 2:1 (the paper's
+// 1200:600). The 1200-host cell keeps the exact paper substrate.
+func scaleTopology(n int, opts ScaleOptions) topology.Config {
+	top := topology.DefaultConfig()
+	top.Hosts = n
+	top.Seed = opts.Seed
+	top.Workers = opts.Workers
+	// Routers = 24 transit + 144·StubDomainsPerTransit stub; SDPT =
+	// n/288 keeps ≈ n/2 routers (1200 → the default 4, 100000 → 347,
+	// i.e. ~50k routers).
+	if sdpt := n / 288; sdpt > top.StubDomainsPerTransit {
+		top.StubDomainsPerTransit = sdpt
+	}
+	return top
+}
+
 // ScaleRow is one pool size's measurements. The first group of fields
 // is deterministic (a pure function of the seed) and appears in
 // Tables(); the Bench* fields are wall-clock measurements filled only
-// when ScaleOptions.Bench is set, reported via BenchJSON.
+// when ScaleOptions.Bench is set, reported via the bench JSON.
 type ScaleRow struct {
 	Hosts int
+	// Routers is the underlay size; it scales with Hosts (≈ 2:1).
+	Routers int
+	// Oracle is the latency-oracle implementation the cell resolved to
+	// ("exact" up to 2048 routers, "coords" beyond).
+	Oracle string
+	// OracleErrP50/P90 are the oracle's relative latency error vs exact
+	// single-source Dijkstra on sampled router pairs — zero for the
+	// exact oracle, the embedding's measured error for coords. They are
+	// deterministic (fixed sampling seed, worker-independent).
+	OracleErrP50 float64
+	OracleErrP90 float64
 	// Events is the number of simulation events the cell's ring
 	// processed — deterministic, and the denominator-independent half
 	// of the events/sec trajectory.
@@ -97,8 +142,14 @@ type ScaleRow struct {
 	// BenchEventsPerSec is Events divided by the ring-simulation wall
 	// time — the per-event cost trajectory.
 	BenchEventsPerSec float64 `json:"events_per_sec"`
-	// BenchPeakRSSMB estimates the resident heap after the run
-	// (MemStats HeapInuse, MB).
+	// BenchHeapInuseMB is the live Go heap after the cell (MemStats
+	// HeapInuse, MB): the structure the simulation keeps resident,
+	// attributable to this cell because a GC runs right before reading.
+	BenchHeapInuseMB float64 `json:"heap_inuse_mb"`
+	// BenchPeakRSSMB is the OS-reported peak resident set (VmHWM from
+	// /proc/self/status, MB; 0 where unavailable). It is a process-wide
+	// high-water mark, attributable because cells run sequentially in
+	// ascending size order — the largest cell sets the peak.
 	BenchPeakRSSMB float64 `json:"peak_rss_mb"`
 }
 
@@ -110,9 +161,9 @@ type ScaleResult struct {
 
 // Scale runs the study: per pool size, build the pool (topology,
 // coordinates, degrees), run a live DHT+SOMO ring over the pool's
-// latencies for Runtime, query the root snapshot, and plan one ALM
-// session — measuring protocol-shape metrics at every N, plus harness
-// cost when Bench is set.
+// latencies for Runtime on the sharded event loop, query the root
+// snapshot, and plan one ALM session — measuring protocol-shape
+// metrics at every N, plus harness cost when Bench is set.
 func Scale(opts ScaleOptions) (*ScaleResult, error) {
 	opts = opts.withDefaults()
 	for _, n := range opts.Sizes {
@@ -120,19 +171,18 @@ func Scale(opts ScaleOptions) (*ScaleResult, error) {
 			return nil, fmt.Errorf("experiments: group size %d exceeds pool size %d", opts.GroupSize, n)
 		}
 	}
-	workers := opts.Workers
-	if opts.Bench {
-		// Concurrent cells would share the allocator and the cores,
-		// poisoning each other's wall-clock and MemStats readings.
-		workers = 1
+	res := &ScaleResult{Opts: opts}
+	// Cells run sequentially: each saturates the machine through its
+	// intra-cell parallelism, and sequential ascending sizes are what
+	// make the bench memory readings attributable.
+	for _, n := range opts.Sizes {
+		row, err := scaleRun(n, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
 	}
-	rows, err := par.MapErr(workers, len(opts.Sizes), func(i int) (ScaleRow, error) {
-		return scaleRun(opts.Sizes[i], opts)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &ScaleResult{Opts: opts, Rows: rows}, nil
+	return res, nil
 }
 
 func scaleRun(n int, opts ScaleOptions) (ScaleRow, error) {
@@ -143,27 +193,37 @@ func scaleRun(n int, opts ScaleOptions) (ScaleRow, error) {
 	}
 	start := time.Now()
 
-	// The pool: topology with n hosts, coordinates, degree bounds. Cell
-	// work is seeded per cell so the sweep parallelizes without sharing
-	// randomness (the somoexp/fig8 pattern).
-	top := topology.DefaultConfig()
-	top.Hosts = n
-	top.Seed = opts.Seed
-	pool, err := core.BuildFast(core.Options{Topology: top, Seed: opts.Seed, Workers: 1})
+	// The pool: topology with n hosts and a proportionally scaled
+	// router substrate, coordinates, degree bounds.
+	top := scaleTopology(n, opts)
+	pool, err := core.BuildFast(core.Options{Topology: top, Seed: opts.Seed, Workers: opts.Workers})
 	if err != nil {
 		return ScaleRow{}, err
 	}
+	row := ScaleRow{
+		Hosts:   n,
+		Routers: top.NumRouters(),
+		Oracle:  pool.Net.OracleKind().String(),
+	}
+	row.OracleErrP50, row.OracleErrP90 = pool.Net.OracleError(1000, opts.Seed+17)
 
-	// A live DHT+SOMO ring over the pool's true latencies.
-	engine := eventsim.New(opts.Seed + int64(n))
-	net := transport.NewSim(engine, transport.SimOptions{Latency: pool.TrueLatency})
+	// A live DHT+SOMO ring over the pool's true latencies, partitioned
+	// across the sharded event loop. The lookahead is the topology's
+	// minimum cross-host latency: every path crosses two last hops.
+	sim := transport.NewShardedSim(transport.ShardedSimOptions{
+		Latency:   pool.TrueLatency,
+		Shards:    scaleShards,
+		Lookahead: eventsim.Time(2 * top.LastHopMin),
+		Workers:   opts.Workers,
+		Seed:      opts.Seed + int64(n),
+	})
 	r := rand.New(rand.NewSource(opts.Seed + int64(n) + 7))
 	idList := dht.RandomIDs(n, r)
 	addrs := make([]transport.Addr, n)
 	for i := range addrs {
 		addrs[i] = transport.Addr(i)
 	}
-	nodes, err := dht.BuildRing(net, idList, addrs, dht.Config{LeafsetRadius: 8})
+	nodes, err := dht.BuildRingOn(sim.View, idList, addrs, dht.Config{LeafsetRadius: 8})
 	if err != nil {
 		return ScaleRow{}, err
 	}
@@ -174,10 +234,10 @@ func scaleRun(n int, opts ScaleOptions) (ScaleRow, error) {
 		agents[i] = somo.NewAgent(nd, cfg, func() interface{} { return i })
 	}
 	simStart := time.Now()
-	engine.RunUntil(opts.Runtime)
+	sim.RunUntil(opts.Runtime)
 	simWall := time.Since(simStart)
 
-	row := ScaleRow{Hosts: n, Events: engine.Processed()}
+	row.Events = sim.Processed()
 	var root *somo.Agent
 	for _, a := range agents {
 		if a.IsRoot() {
@@ -197,7 +257,7 @@ func scaleRun(n int, opts ScaleOptions) (ScaleRow, error) {
 			}
 		}
 	}
-	stats := net.Stats()
+	stats := sim.Stats()
 	row.MsgsPerNodeSec = float64(stats.MessagesSent) / float64(n) /
 		(float64(opts.Runtime) / 1000)
 
@@ -219,9 +279,11 @@ func scaleRun(n int, opts ScaleOptions) (ScaleRow, error) {
 	if opts.Bench {
 		row.BenchWallMS = float64(time.Since(start).Milliseconds())
 		var msAfter runtime.MemStats
+		runtime.GC()
 		runtime.ReadMemStats(&msAfter)
 		row.BenchAllocs = msAfter.Mallocs - msBefore.Mallocs
-		row.BenchPeakRSSMB = float64(msAfter.HeapInuse) / 1e6
+		row.BenchHeapInuseMB = float64(msAfter.HeapInuse) / 1e6
+		row.BenchPeakRSSMB = readPeakRSSMB()
 		if s := simWall.Seconds(); s > 0 {
 			row.BenchEventsPerSec = float64(row.Events) / s
 		}
@@ -229,48 +291,96 @@ func scaleRun(n int, opts ScaleOptions) (ScaleRow, error) {
 	return row, nil
 }
 
+// readPeakRSSMB reads the process's peak resident set size (VmHWM) from
+// /proc/self/status, in MB; 0 where the file or field is unavailable
+// (non-Linux). This is the OS high-water mark — it never decreases —
+// which is why bench cells run in ascending size order.
+func readPeakRSSMB() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1000
+	}
+	return 0
+}
+
 // Tables renders the deterministic half of the study. Bench fields are
 // deliberately absent: wall clocks differ run to run, and this output
 // participates in the byte-identical determinism contract.
 func (r *ScaleResult) Tables() []Table {
 	t := Table{
-		Title: "Scale study: paper-shape metrics vs pool size (10x the paper's 1200 hosts)",
-		Columns: []string{"hosts", "events", "depth", "records",
-			"staleness ms", "msgs/node/s", "improvement"},
+		Title: "Scale study: paper-shape metrics vs pool size (up to ~100x the paper's 1200 hosts)",
+		Columns: []string{"hosts", "routers", "oracle", "err p50", "err p90",
+			"events", "depth", "records", "staleness ms", "msgs/node/s", "improvement"},
 		Note: "self-scaling claim: staleness tracks (depth+1)*T = O(log N), msgs/node/s and " +
-			"ALM improvement stay flat while N grows 10x; wall-clock/alloc trajectory in BENCH_scale.json",
+			"ALM improvement stay flat while N grows; oracle err is the coordinate embedding's " +
+			"measured relative error vs exact Dijkstra (0 when the exact table is in use); " +
+			"wall-clock/alloc/memory trajectory in BENCH_scale.json",
 	}
 	for _, row := range r.Rows {
 		t.Rows = append(t.Rows, []string{
-			d(row.Hosts), fmt.Sprintf("%d", row.Events), d(row.Depth), d(row.Records),
+			d(row.Hosts), d(row.Routers), row.Oracle,
+			f3(row.OracleErrP50), f3(row.OracleErrP90),
+			fmt.Sprintf("%d", row.Events), d(row.Depth), d(row.Records),
 			f1(row.Staleness), f3(row.MsgsPerNodeSec), f3(row.Improvement),
 		})
 	}
 	return []Table{t}
 }
 
-// benchFile is the BENCH_scale.json schema, version bench-scale/v1:
+// benchFile is the BENCH_scale.json schema, version bench-scale/v2:
 //
 //	{
-//	  "schema": "bench-scale/v1",
-//	  "seed": 1, "runtime_ms": 60000, "group_size": 100,
-//	  "rows": [{
-//	    "hosts": 1200,            // pool size
-//	    "wall_ms": 0,             // total cell wall time
-//	    "allocs": 0,              // heap allocations over the cell
-//	    "events": 0,              // simulation events processed
-//	    "events_per_sec": 0,      // events / ring-simulation wall time
-//	    "peak_rss_mb": 0,         // HeapInuse after the cell, MB
-//	    "staleness_ms": 0,        // worst root-snapshot record age
-//	    "improvement": 0          // fig-8-style Leafset+adjust gain
+//	  "schema": "bench-scale/v2",
+//	  "runs": [{
+//	    "label": "pr6",           // which PR/state produced the rows
+//	    "seed": 1, "runtime_ms": 60000, "group_size": 100,
+//	    "rows": [{
+//	      "hosts": 1200,          // pool size
+//	      "routers": 600,         // underlay size (scales ≈ n/2)
+//	      "oracle": "exact",      // latency oracle the cell resolved to
+//	      "oracle_err_p50": 0,    // oracle relative error vs Dijkstra
+//	      "oracle_err_p90": 0,
+//	      "wall_ms": 0,           // total cell wall time
+//	      "allocs": 0,            // heap allocations over the cell
+//	      "events": 0,            // simulation events processed
+//	      "events_per_sec": 0,    // events / ring-simulation wall time
+//	      "heap_inuse_mb": 0,     // live Go heap after the cell (MemStats)
+//	      "peak_rss_mb": 0,       // OS peak resident set (VmHWM), process-wide
+//	      "staleness_ms": 0,      // worst root-snapshot record age
+//	      "improvement": 0        // fig-8-style Leafset+adjust gain
+//	    }, ...]
 //	  }, ...]
 //	}
 //
-// Future perf PRs compare their trajectory against the committed file:
-// events_per_sec must stay within 2x across the size sweep (per-event
-// cost flat) and must not regress across PRs at equal N.
+// Each bench invocation appends (or replaces) one labeled run, so the
+// file accumulates the per-PR trajectory instead of overwriting it.
+// Perf acceptance reads the newest run: events_per_sec must stay within
+// 3x across the size sweep and heap growth must be sub-quadratic in N.
+//
+// v1 files (a bare row set, where "peak_rss_mb" actually held MemStats
+// HeapInuse) are migrated on read into a run labeled "pr4" with the
+// value moved to heap_inuse_mb.
 type benchFile struct {
-	Schema    string     `json:"schema"`
+	Schema string     `json:"schema"`
+	Runs   []benchRun `json:"runs"`
+}
+
+type benchRun struct {
+	Label     string     `json:"label"`
 	Seed      int64      `json:"seed"`
 	RuntimeMS float64    `json:"runtime_ms"`
 	GroupSize int        `json:"group_size"`
@@ -279,41 +389,128 @@ type benchFile struct {
 
 type benchRow struct {
 	Hosts        int     `json:"hosts"`
+	Routers      int     `json:"routers,omitempty"`
+	Oracle       string  `json:"oracle,omitempty"`
+	OracleErrP50 float64 `json:"oracle_err_p50,omitempty"`
+	OracleErrP90 float64 `json:"oracle_err_p90,omitempty"`
 	WallMS       float64 `json:"wall_ms"`
 	Allocs       uint64  `json:"allocs"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	HeapInuseMB  float64 `json:"heap_inuse_mb"`
 	PeakRSSMB    float64 `json:"peak_rss_mb"`
 	StalenessMS  float64 `json:"staleness_ms"`
 	Improvement  float64 `json:"improvement"`
 }
 
-// BenchJSON renders the machine-readable bench trajectory (schema
-// bench-scale/v1, documented on benchFile). Call only on a result
-// produced with ScaleOptions.Bench set; otherwise the wall-clock
-// fields are zero.
-func (r *ScaleResult) BenchJSON() ([]byte, error) {
-	f := benchFile{
-		Schema:    "bench-scale/v1",
+// benchFileV1 is the legacy single-run schema, kept for migration.
+type benchFileV1 struct {
+	Schema    string  `json:"schema"`
+	Seed      int64   `json:"seed"`
+	RuntimeMS float64 `json:"runtime_ms"`
+	GroupSize int     `json:"group_size"`
+	Rows      []struct {
+		Hosts        int     `json:"hosts"`
+		WallMS       float64 `json:"wall_ms"`
+		Allocs       uint64  `json:"allocs"`
+		Events       uint64  `json:"events"`
+		EventsPerSec float64 `json:"events_per_sec"`
+		PeakRSSMB    float64 `json:"peak_rss_mb"` // actually HeapInuse; see migration
+		StalenessMS  float64 `json:"staleness_ms"`
+		Improvement  float64 `json:"improvement"`
+	} `json:"rows"`
+}
+
+// AppendBenchJSON merges this result into an existing BENCH_scale.json
+// (existing may be nil/empty for a fresh file) as a run labeled label,
+// replacing any previous run with the same label. v1 files are migrated
+// to a run labeled "pr4" first. Call only on a result produced with
+// ScaleOptions.Bench set; otherwise the wall-clock fields are zero.
+func (r *ScaleResult) AppendBenchJSON(existing []byte, label string) ([]byte, error) {
+	if label == "" {
+		label = "dev"
+	}
+	f, err := parseBenchFile(existing)
+	if err != nil {
+		return nil, err
+	}
+	run := benchRun{
+		Label:     label,
 		Seed:      r.Opts.Seed,
 		RuntimeMS: float64(r.Opts.Runtime),
 		GroupSize: r.Opts.GroupSize,
 	}
 	for _, row := range r.Rows {
-		f.Rows = append(f.Rows, benchRow{
+		run.Rows = append(run.Rows, benchRow{
 			Hosts:        row.Hosts,
+			Routers:      row.Routers,
+			Oracle:       row.Oracle,
+			OracleErrP50: row.OracleErrP50,
+			OracleErrP90: row.OracleErrP90,
 			WallMS:       row.BenchWallMS,
 			Allocs:       row.BenchAllocs,
 			Events:       row.Events,
 			EventsPerSec: row.BenchEventsPerSec,
+			HeapInuseMB:  row.BenchHeapInuseMB,
 			PeakRSSMB:    row.BenchPeakRSSMB,
 			StalenessMS:  row.Staleness,
 			Improvement:  row.Improvement,
 		})
 	}
+	kept := f.Runs[:0]
+	for _, old := range f.Runs {
+		if old.Label != label {
+			kept = append(kept, old)
+		}
+	}
+	f.Runs = append(kept, run)
 	out, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return nil, err
 	}
 	return append(out, '\n'), nil
+}
+
+// parseBenchFile reads an existing bench file in either schema version.
+func parseBenchFile(data []byte) (benchFile, error) {
+	f := benchFile{Schema: "bench-scale/v2"}
+	if len(data) == 0 {
+		return f, nil
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return f, fmt.Errorf("experiments: parsing bench file: %w", err)
+	}
+	switch probe.Schema {
+	case "bench-scale/v2":
+		if err := json.Unmarshal(data, &f); err != nil {
+			return f, fmt.Errorf("experiments: parsing bench file: %w", err)
+		}
+		f.Schema = "bench-scale/v2"
+		return f, nil
+	case "bench-scale/v1":
+		var v1 benchFileV1
+		if err := json.Unmarshal(data, &v1); err != nil {
+			return f, fmt.Errorf("experiments: parsing bench file: %w", err)
+		}
+		run := benchRun{Label: "pr4", Seed: v1.Seed, RuntimeMS: v1.RuntimeMS, GroupSize: v1.GroupSize}
+		for _, row := range v1.Rows {
+			run.Rows = append(run.Rows, benchRow{
+				Hosts:  row.Hosts,
+				WallMS: row.WallMS,
+				Allocs: row.Allocs,
+				Events: row.Events, EventsPerSec: row.EventsPerSec,
+				// v1's peak_rss_mb was MemStats HeapInuse mislabeled.
+				HeapInuseMB: row.PeakRSSMB,
+				StalenessMS: row.StalenessMS,
+				Improvement: row.Improvement,
+			})
+		}
+		f.Runs = []benchRun{run}
+		return f, nil
+	default:
+		return f, fmt.Errorf("experiments: unknown bench schema %q", probe.Schema)
+	}
 }

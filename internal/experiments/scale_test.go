@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"p2ppool/internal/eventsim"
+)
+
+// The 200-host bench cell is deterministic and read-only once built, so
+// every test in this file shares one run (it is the dominant cost under
+// the race detector).
+var smallScaleOnce struct {
+	sync.Once
+	res *ScaleResult
+	err error
+}
+
+func smallScaleResult(t *testing.T) *ScaleResult {
+	t.Helper()
+	smallScaleOnce.Do(func() {
+		smallScaleOnce.res, smallScaleOnce.err = Scale(ScaleOptions{
+			Sizes: []int{200}, Runtime: 10 * eventsim.Second, GroupSize: 20,
+			Seed: 1, Bench: true,
+		})
+	})
+	if smallScaleOnce.err != nil {
+		t.Fatal(smallScaleOnce.err)
+	}
+	return smallScaleOnce.res
+}
+
+func TestScaleRowShape(t *testing.T) {
+	res := smallScaleResult(t)
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	row := res.Rows[0]
+	if row.Oracle != "exact" {
+		t.Errorf("200-host cell resolved oracle %q, want exact (600 routers)", row.Oracle)
+	}
+	if row.OracleErrP50 != 0 || row.OracleErrP90 != 0 {
+		t.Errorf("exact oracle error p50=%v p90=%v, want 0", row.OracleErrP50, row.OracleErrP90)
+	}
+	if row.Routers != 600 {
+		t.Errorf("routers = %d, want the paper's 600", row.Routers)
+	}
+	if row.Events == 0 || row.Records == 0 {
+		t.Errorf("empty cell: events=%d records=%d", row.Events, row.Records)
+	}
+	if row.BenchHeapInuseMB <= 0 {
+		t.Error("bench mode left heap_inuse unset")
+	}
+	// VmHWM comes from /proc/self/status; on linux it must be present
+	// and at least as large as the live heap.
+	if row.BenchPeakRSSMB > 0 && row.BenchPeakRSSMB < row.BenchHeapInuseMB {
+		t.Errorf("peak RSS %.1f MB below live heap %.1f MB", row.BenchPeakRSSMB, row.BenchHeapInuseMB)
+	}
+}
+
+func TestScaleTopologySubstrate(t *testing.T) {
+	cases := []struct{ hosts, routers int }{
+		{1200, 600},    // the paper's exact substrate
+		{3000, 1464},   // 10 stub domains per transit
+		{30000, 15000}, // past the exact-oracle threshold
+		{100000, 49992},
+	}
+	for _, c := range cases {
+		top := scaleTopology(c.hosts, ScaleOptions{Seed: 1})
+		if got := top.NumRouters(); got != c.routers {
+			t.Errorf("scaleTopology(%d): %d routers, want %d", c.hosts, got, c.routers)
+		}
+	}
+}
+
+func TestAppendBenchJSONFresh(t *testing.T) {
+	res := smallScaleResult(t)
+	out, err := res.AppendBenchJSON(nil, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(out, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema != "bench-scale/v2" {
+		t.Errorf("schema %q", f.Schema)
+	}
+	if len(f.Runs) != 1 || f.Runs[0].Label != "test" {
+		t.Fatalf("runs: %+v", f.Runs)
+	}
+	if len(f.Runs[0].Rows) != 1 || f.Runs[0].Rows[0].Hosts != 200 {
+		t.Errorf("rows: %+v", f.Runs[0].Rows)
+	}
+}
+
+func TestAppendBenchJSONAccumulatesAndReplaces(t *testing.T) {
+	res := smallScaleResult(t)
+	one, err := res.AppendBenchJSON(nil, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := res.AppendBenchJSON(one, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(two, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Runs) != 2 || f.Runs[0].Label != "a" || f.Runs[1].Label != "b" {
+		t.Fatalf("after append: %d runs %v", len(f.Runs), f.Runs)
+	}
+	// Re-appending an existing label replaces that run, keeps the rest.
+	three, err := res.AppendBenchJSON(two, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(three, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Runs) != 2 || f.Runs[0].Label != "b" || f.Runs[1].Label != "a" {
+		t.Fatalf("after replace: %d runs", len(f.Runs))
+	}
+}
+
+func TestAppendBenchJSONMigratesV1(t *testing.T) {
+	v1 := `{
+  "schema": "bench-scale/v1",
+  "seed": 1, "runtime_ms": 60000, "group_size": 100,
+  "rows": [{"hosts": 1200, "wall_ms": 5000, "allocs": 10, "events": 100,
+            "events_per_sec": 20, "peak_rss_mb": 29.5,
+            "staleness_ms": 9000, "improvement": 0.3}]
+}`
+	res := smallScaleResult(t)
+	out, err := res.AppendBenchJSON([]byte(v1), "pr6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(out, &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Runs) != 2 {
+		t.Fatalf("got %d runs, want migrated pr4 + new pr6", len(f.Runs))
+	}
+	old := f.Runs[0]
+	if old.Label != "pr4" || len(old.Rows) != 1 {
+		t.Fatalf("migrated run: %+v", old)
+	}
+	// v1's peak_rss_mb held MemStats HeapInuse; migration moves it.
+	if old.Rows[0].HeapInuseMB != 29.5 || old.Rows[0].PeakRSSMB != 0 {
+		t.Errorf("migration: heap=%v rss=%v, want 29.5 / 0",
+			old.Rows[0].HeapInuseMB, old.Rows[0].PeakRSSMB)
+	}
+	if f.Runs[1].Label != "pr6" {
+		t.Errorf("new run label %q", f.Runs[1].Label)
+	}
+}
+
+func TestAppendBenchJSONRejectsGarbage(t *testing.T) {
+	res := smallScaleResult(t)
+	if _, err := res.AppendBenchJSON([]byte("not json"), "x"); err == nil {
+		t.Error("garbage input accepted")
+	}
+	if _, err := res.AppendBenchJSON([]byte(`{"schema":"bench-scale/v9"}`), "x"); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}
+
+func TestScaleTableHasOracleColumns(t *testing.T) {
+	res := smallScaleResult(t)
+	tabs := res.Tables()
+	if len(tabs) != 1 {
+		t.Fatalf("got %d tables", len(tabs))
+	}
+	header := strings.Join(tabs[0].Columns, "|")
+	for _, col := range []string{"oracle", "err p50", "err p90", "routers"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("table missing column %q (have %s)", col, header)
+		}
+	}
+}

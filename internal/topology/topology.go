@@ -55,11 +55,22 @@ type Config struct {
 	// network.
 	Seed int64
 
-	// Workers bounds the goroutines used for the all-pairs shortest
-	// path computation and host-pair scans; <= 0 means
-	// runtime.NumCPU(). The generated network and every latency it
-	// reports are identical for any worker count.
+	// Workers bounds the goroutines used for the latency-oracle build
+	// (all-pairs or landmark Dijkstra, coordinate solves) and host-pair
+	// scans; <= 0 means runtime.NumCPU(). The generated network and
+	// every latency it reports are identical for any worker count.
 	Workers int
+
+	// Oracle selects the latency-oracle implementation (see OracleKind).
+	// The zero value, OracleAuto, keeps the exact all-pairs table for
+	// small router graphs (the paper's 600-router default included) and
+	// switches to the coordinate embedding past autoExactMax routers,
+	// where the O(R²) table stops fitting.
+	Oracle OracleKind
+
+	// OracleRowCache caps the on-demand oracle's LRU row cache
+	// (rows; <= 0 means 1024). Ignored by the other oracles.
+	OracleRowCache int
 }
 
 // DefaultConfig returns the paper's experimental topology: 24 transit
@@ -141,10 +152,12 @@ type Network struct {
 	// lastHop is each host's access-link latency.
 	lastHop []float64
 
-	// routerLat is the all-pairs shortest-path latency between routers.
-	routerLat [][]float64
-	// hostRow[h] aliases routerLat[hostRouter[h]] so the Latency hot
-	// path resolves host -> router-latency-row in one indexed load.
+	// oracle answers router-to-router latency queries; see oracle.go.
+	oracle LatencyOracle
+	// hostRow[h] aliases the exact oracle's row for hostRouter[h] so the
+	// Latency hot path resolves host -> router-latency-row in one
+	// indexed load. nil for the non-tabular oracles, which take the
+	// generic path through the interface.
 	hostRow [][]float64
 }
 
@@ -221,10 +234,18 @@ func Generate(cfg Config) (*Network, error) {
 		n.lastHop[h] = cfg.LastHopMin + r.Float64()*(cfg.LastHopMax-cfg.LastHopMin)
 	}
 
-	n.computeAllPairs()
-	n.hostRow = make([][]float64, cfg.Hosts)
-	for h := 0; h < cfg.Hosts; h++ {
-		n.hostRow[h] = n.routerLat[n.hostRouter[h]]
+	switch cfg.resolveOracle() {
+	case OracleExact:
+		ex := newExactOracle(n)
+		n.oracle = ex
+		n.hostRow = make([][]float64, cfg.Hosts)
+		for h := 0; h < cfg.Hosts; h++ {
+			n.hostRow[h] = ex.rows[n.hostRouter[h]]
+		}
+	case OracleOnDemand:
+		n.oracle = newOnDemandOracle(n, cfg.OracleRowCache)
+	case OracleCoords:
+		n.oracle = newCoordsOracle(n)
 	}
 	return n, nil
 }
@@ -257,17 +278,6 @@ func (n *Network) buildDomain(r *rand.Rand, base, size int, lat, extraProb float
 func (n *Network) addEdge(a, b int, lat float64) {
 	n.adj[a] = append(n.adj[a], edge{to: b, lat: lat})
 	n.adj[b] = append(n.adj[b], edge{to: a, lat: lat})
-}
-
-// computeAllPairs runs one Dijkstra per router, fanned out over a
-// worker pool. Each source writes only its own routerLat row, and a
-// single-source Dijkstra is deterministic, so the result is identical
-// to the sequential computation for any worker count.
-func (n *Network) computeAllPairs() {
-	n.routerLat = make([][]float64, n.routers)
-	par.ForEach(n.cfg.Workers, n.routers, func(src int) {
-		n.routerLat[src] = n.dijkstra(src)
-	})
 }
 
 // pqItem is a priority-queue entry for Dijkstra.
@@ -330,9 +340,17 @@ func (n *Network) IsTransit(r int) bool { return n.isTransit[r] }
 // RouterDomain returns the domain label of router r.
 func (n *Network) RouterDomain(r int) int { return n.routerDomain[r] }
 
-// RouterLatency returns the one-way shortest-path latency between two
-// routers in milliseconds.
-func (n *Network) RouterLatency(a, b int) float64 { return n.routerLat[a][b] }
+// RouterLatency returns the one-way latency between two routers in
+// milliseconds, as the active oracle sees it (shortest path for the
+// exact oracles, embedded distance for coords).
+func (n *Network) RouterLatency(a, b int) float64 { return n.oracle.RouterLatency(a, b) }
+
+// Oracle returns the active latency oracle.
+func (n *Network) Oracle() LatencyOracle { return n.oracle }
+
+// OracleKind reports which oracle implementation the network resolved
+// to (never OracleAuto).
+func (n *Network) OracleKind() OracleKind { return n.oracle.Kind() }
 
 // Latency returns the one-way end-to-end latency between hosts a and b
 // in milliseconds: lastHop(a) + router path + lastHop(b). The latency
@@ -346,7 +364,10 @@ func (n *Network) Latency(a, b int) float64 {
 	if a > b {
 		a, b = b, a
 	}
-	return n.lastHop[a] + n.hostRow[a][n.hostRouter[b]] + n.lastHop[b]
+	if n.hostRow != nil {
+		return n.lastHop[a] + n.hostRow[a][n.hostRouter[b]] + n.lastHop[b]
+	}
+	return n.lastHop[a] + n.oracle.RouterLatency(n.hostRouter[a], n.hostRouter[b]) + n.lastHop[b]
 }
 
 // RTT returns the round-trip time between hosts a and b in milliseconds.

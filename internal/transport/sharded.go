@@ -1,0 +1,300 @@
+// ShardedSim: the simulated network partitioned across an
+// eventsim.ShardGroup for conservative parallel execution. Hosts are
+// partitioned by address (addr mod shards); each shard is a Network in
+// its own right, backed by its own engine, handler table, stats and
+// randomness, so protocol nodes written for the single-threaded Sim
+// run unchanged against their shard's view.
+//
+// Sends inside a shard follow the exact Sim delivery path. Sends that
+// cross shards are buffered in the sending shard's outbox and handed to
+// the target engine at the next window barrier — legal because the
+// group's window never exceeds Lookahead, the minimum cross-shard
+// latency, so every cross-shard message arrives at or after the
+// barrier at which it is flushed. A latency below Lookahead on a
+// cross-shard pair is a configuration error and panics loudly rather
+// than silently reordering causality.
+//
+// Determinism is independent of Workers: shard count is structural (it
+// changes the partition, so it is part of the experiment's identity,
+// like a seed), each shard's engine has its own seeded stream, and
+// outboxes flush serially in shard-index order. Workers only bounds
+// how many shards advance concurrently between barriers.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"p2ppool/internal/eventsim"
+)
+
+// ShardedSimOptions configures a ShardedSim.
+type ShardedSimOptions struct {
+	// Latency is required: per-pair one-way delay in milliseconds. It is
+	// queried from multiple shards concurrently and must be pure.
+	Latency LatencyFunc
+	// Bottleneck optionally serializes back-to-back sends (packet-pair);
+	// it must be pure. Serialization state is per directed pair and
+	// lives on the sending shard, so it needs no cross-shard locking.
+	Bottleneck BottleneckFunc
+	// LossProb drops each message independently with this probability,
+	// drawn from the sending shard's deterministic stream.
+	LossProb float64
+	// Shards is the structural partition count (default 8). Changing it
+	// changes which addresses share an engine — it is part of the
+	// run's identity, never derived from Workers.
+	Shards int
+	// Lookahead is the window bound: no cross-shard pair may have
+	// latency below it. For the transit-stub topology the safe value is
+	// 2×LastHopMin (every cross-host path crosses two last hops).
+	Lookahead eventsim.Time
+	// Workers bounds concurrent shard execution (<= 1 means serial).
+	Workers int
+	// Seed derives each shard engine's random stream.
+	Seed int64
+}
+
+// ShardedSim is the partitioned simulated network. Create with
+// NewShardedSim; drive it with RunUntil. Between RunUntil calls all
+// methods are safe from the driving goroutine.
+type ShardedSim struct {
+	group     *eventsim.ShardGroup
+	shards    []*simShard
+	lookahead eventsim.Time
+}
+
+// simShard is one shard's Network view. All of its methods run either
+// on the driving goroutine (between windows) or on its own engine's
+// events (inside a window) — never concurrently.
+type simShard struct {
+	owner  *ShardedSim
+	id     int
+	engine *eventsim.Engine
+
+	latency    LatencyFunc
+	bottleneck BottleneckFunc
+	lossProb   float64
+
+	handlers    map[Addr]Handler
+	down        map[Addr]bool
+	lastArrival map[[2]Addr]eventsim.Time
+	stats       Stats
+	outbox      []*shardedDelivery
+}
+
+// NewShardedSim creates a partitioned network.
+func NewShardedSim(opt ShardedSimOptions) *ShardedSim {
+	if opt.Latency == nil {
+		panic("transport: ShardedSimOptions.Latency is required")
+	}
+	if opt.Lookahead <= 0 {
+		panic("transport: ShardedSimOptions.Lookahead must be positive")
+	}
+	if opt.Shards <= 0 {
+		opt.Shards = 8
+	}
+	s := &ShardedSim{
+		group:     eventsim.NewShardGroup(opt.Shards, opt.Seed, opt.Workers),
+		shards:    make([]*simShard, opt.Shards),
+		lookahead: opt.Lookahead,
+	}
+	for i := range s.shards {
+		s.shards[i] = &simShard{
+			owner:       s,
+			id:          i,
+			engine:      s.group.Engine(i),
+			latency:     opt.Latency,
+			bottleneck:  opt.Bottleneck,
+			lossProb:    opt.LossProb,
+			handlers:    make(map[Addr]Handler),
+			down:        make(map[Addr]bool),
+			lastArrival: make(map[[2]Addr]eventsim.Time),
+		}
+	}
+	return s
+}
+
+// Shards returns the structural shard count.
+func (s *ShardedSim) Shards() int { return len(s.shards) }
+
+// shardFor maps an address to its owning shard index.
+func (s *ShardedSim) shardFor(a Addr) int { return int(a) % len(s.shards) }
+
+// View returns the Network the given address lives on. A protocol node
+// must be built against its own address's view; handing a node some
+// other shard's view panics at Attach.
+func (s *ShardedSim) View(a Addr) Network { return s.shards[s.shardFor(a)] }
+
+// Engine exposes a shard's engine (tests and experiment drivers).
+func (s *ShardedSim) Engine(i int) *eventsim.Engine { return s.group.Engine(i) }
+
+// Now returns the group clock (the last barrier reached).
+func (s *ShardedSim) Now() eventsim.Time { return s.group.Now() }
+
+// Processed returns total events executed across shards.
+func (s *ShardedSim) Processed() uint64 { return s.group.Processed() }
+
+// Stats sums per-shard traffic counters in shard order. Call only
+// between RunUntil invocations.
+func (s *ShardedSim) Stats() Stats {
+	var t Stats
+	for _, sh := range s.shards {
+		t.MessagesSent += sh.stats.MessagesSent
+		t.MessagesDelivered += sh.stats.MessagesDelivered
+		t.MessagesDropped += sh.stats.MessagesDropped
+		t.BytesSent += sh.stats.BytesSent
+	}
+	return t
+}
+
+// SetDown marks an endpoint failed or recovered (between windows only).
+func (s *ShardedSim) SetDown(a Addr, down bool) {
+	sh := s.shards[s.shardFor(a)]
+	if down {
+		sh.down[a] = true
+	} else {
+		delete(sh.down, a)
+	}
+}
+
+// RunUntil advances the simulation to deadline in lookahead-sized
+// lockstep windows, flushing cross-shard outboxes at each barrier. It
+// returns the number of events executed.
+func (s *ShardedSim) RunUntil(deadline eventsim.Time) uint64 {
+	return s.group.RunUntil(deadline, s.lookahead, s.flush)
+}
+
+// flush hands every buffered cross-shard delivery to its target engine,
+// in shard-index order then send order — single-threaded, so the
+// resulting event sequence numbers are reproducible.
+func (s *ShardedSim) flush(limit eventsim.Time) {
+	for _, sh := range s.shards {
+		for _, d := range sh.outbox {
+			if d.arrive < limit {
+				panic(fmt.Sprintf(
+					"transport: cross-shard delivery at %v before barrier %v (lookahead %v violated)",
+					d.arrive, limit, s.lookahead))
+			}
+			d.to.engine.CallAt(d.arrive, d)
+		}
+		sh.outbox = sh.outbox[:0]
+	}
+}
+
+// Attach implements Network. The address must belong to this shard.
+func (sh *simShard) Attach(a Addr, h Handler) {
+	if sh.owner.shardFor(a) != sh.id {
+		panic(fmt.Sprintf("transport: attaching addr %d to shard %d, belongs to shard %d",
+			a, sh.id, sh.owner.shardFor(a)))
+	}
+	sh.handlers[a] = h
+}
+
+// Detach implements Network.
+func (sh *simShard) Detach(a Addr) {
+	if sh.owner.shardFor(a) != sh.id {
+		panic(fmt.Sprintf("transport: detaching addr %d from shard %d, belongs to shard %d",
+			a, sh.id, sh.owner.shardFor(a)))
+	}
+	delete(sh.handlers, a)
+}
+
+// Send implements Network. Same-shard messages take the Sim delivery
+// path on this shard's engine; cross-shard messages are buffered for
+// the barrier flush. The arrival time — max(now+latency,
+// lastArrival) + serialization — is computed identically either way.
+// The recipient's down state is checked at delivery time on its own
+// shard (the sender cannot read another shard's state mid-window).
+func (sh *simShard) Send(from, to Addr, sizeBytes int, msg Message) {
+	sh.stats.MessagesSent++
+	sh.stats.BytesSent += uint64(sizeBytes)
+	if sh.down[from] {
+		sh.stats.MessagesDropped++
+		return
+	}
+	if sh.lossProb > 0 && sh.engine.Rand().Float64() < sh.lossProb {
+		sh.stats.MessagesDropped++
+		return
+	}
+	lat := eventsim.Time(sh.latency(int(from), int(to)))
+	target := sh.owner.shards[sh.owner.shardFor(to)]
+	if target != sh && lat < sh.owner.lookahead {
+		panic(fmt.Sprintf(
+			"transport: cross-shard latency %v (%d->%d) below lookahead %v",
+			lat, from, to, sh.owner.lookahead))
+	}
+	arrive := sh.engine.Now() + lat
+	var ser eventsim.Time
+	if sh.bottleneck != nil && sizeBytes > 0 {
+		if bw := sh.bottleneck(int(from), int(to)); bw > 0 {
+			ser = eventsim.Time(float64(sizeBytes*8) / bw)
+		}
+	}
+	key := [2]Addr{from, to}
+	if prev, ok := sh.lastArrival[key]; ok && prev+ser > arrive {
+		arrive = prev + ser
+	} else {
+		arrive += ser
+	}
+	sh.lastArrival[key] = arrive
+	d := shardedDeliveryPool.Get().(*shardedDelivery)
+	*d = shardedDelivery{to: target, from: from, addr: to, sizeBytes: sizeBytes, msg: msg, arrive: arrive}
+	if target == sh {
+		sh.engine.CallAt(arrive, d)
+		return
+	}
+	sh.outbox = append(sh.outbox, d)
+}
+
+// shardedDelivery is a pooled in-flight message; RunEvent fires on the
+// *target* shard's engine, where the handler table and delivered/drop
+// stats live.
+type shardedDelivery struct {
+	to        *simShard
+	from      Addr
+	addr      Addr
+	sizeBytes int
+	msg       Message
+	arrive    eventsim.Time
+}
+
+var shardedDeliveryPool = sync.Pool{New: func() interface{} { return new(shardedDelivery) }}
+
+// RunEvent implements eventsim.Runner.
+func (d *shardedDelivery) RunEvent() {
+	sh, from, to, msg := d.to, d.from, d.addr, d.msg
+	*d = shardedDelivery{}
+	shardedDeliveryPool.Put(d)
+	if sh.down[to] {
+		sh.stats.MessagesDropped++
+		return
+	}
+	h, ok := sh.handlers[to]
+	if !ok {
+		sh.stats.MessagesDropped++
+		return
+	}
+	sh.stats.MessagesDelivered++
+	h(from, msg)
+}
+
+// Now implements Network.
+func (sh *simShard) Now() eventsim.Time { return sh.engine.Now() }
+
+// After implements Network.
+func (sh *simShard) After(d eventsim.Time, fn func()) CancelFunc {
+	t := sh.engine.Schedule(d, fn)
+	return t.Stop
+}
+
+// CallAfter implements RunnerScheduler (same-shard only: the runner
+// fires on this shard's engine).
+func (sh *simShard) CallAfter(d eventsim.Time, r eventsim.Runner) {
+	sh.engine.CallAfter(d, r)
+}
+
+// Rand implements Network: this shard's deterministic stream.
+func (sh *simShard) Rand() *rand.Rand { return sh.engine.Rand() }
+
+var _ Network = (*simShard)(nil)
