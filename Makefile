@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json profile chaos obs scale audit ci
+.PHONY: all build test race vet bench bench-json profile chaos obs scale audit load ci
 
 all: build
 
@@ -47,15 +47,27 @@ scale:
 audit:
 	$(GO) run ./cmd/experiments -fig audit -seed 1
 
-# Machine-readable bench trajectory: per-size wall time, allocations,
-# events/sec, live heap and OS peak RSS, appended to BENCH_scale.json
-# as a labeled run (schema bench-scale/v2, documented in
-# internal/experiments/scale.go) so the file accumulates the per-PR
-# history. Cells run sequentially so the measurements are honest.
-# Override the label with `make bench-json BENCH_LABEL=mybranch`.
-BENCH_LABEL ?= pr6
+# Control-plane soak: thousands of concurrent sessions under Poisson
+# arrivals, a diurnal curve, a flash crowd into one hot session and a
+# flat overload, with churn throughout and invariant sweeps every few
+# virtual seconds. Exits nonzero on any violation. Opt-in (never part
+# of "all"); same seed => byte-identical output for any -workers.
+load:
+	$(GO) run ./cmd/experiments -fig load -seed 1
+
+# Machine-readable bench trajectories: the scale study's per-size wall
+# time, allocations, events/sec, live heap and OS peak RSS appended to
+# BENCH_scale.json (schema bench-scale/v2, documented in
+# internal/experiments/scale.go), and the load study's per-cell wall
+# time and plans/sec appended to BENCH_load.json (schema bench-load/v1,
+# documented in internal/experiments/load.go) — both as labeled runs so
+# the files accumulate the per-PR history. Cells run sequentially so
+# the measurements are honest. Override the label with
+# `make bench-json BENCH_LABEL=mybranch`.
+BENCH_LABEL ?= pr7
 bench-json:
 	$(GO) run ./cmd/experiments -fig scale -seed 1 -benchjson BENCH_scale.json -bench-label $(BENCH_LABEL)
+	$(GO) run ./cmd/experiments -fig load -seed 1 -benchjson BENCH_load.json -bench-label $(BENCH_LABEL)
 
 # CPU+heap profiles of the full figure set; inspect with
 # `go tool pprof cpu.pprof`.
@@ -72,10 +84,15 @@ profile:
 # runs the full 20-seed invariant sweep under the race detector (it
 # exits nonzero on any violation — rerun `make audit` to see the
 # shrunk reproduction). Race coverage for the shard code itself lives
-# in the eventsim/transport package tests, which `race` runs.
+# in the eventsim/transport package tests, which `race` runs. The load
+# smoke soaks the scheduler control plane (admission, shedding,
+# preemption damping, flash crowd) for 45 simulated seconds on a small
+# pool under the race detector; it too exits nonzero on any invariant
+# violation.
 ci: build vet test race
 	$(GO) run ./cmd/experiments -fig obs -seed 1 > /dev/null
 	$(GO) test -bench=. -benchtime=1x -run '^$$' . > /dev/null
 	$(GO) run ./cmd/experiments -fig scale -hosts 1200 -scale-runtime 30 -seed 1 > /dev/null
 	$(GO) run ./cmd/experiments -fig scale -hosts 30000 -scale-runtime 5 -seed 1 > /dev/null
 	$(GO) run -race ./cmd/experiments -fig audit -seed 1 > /dev/null
+	$(GO) run -race ./cmd/experiments -fig load -hosts 300 -load-runtime 45 -seed 1 > /dev/null

@@ -18,7 +18,9 @@
 // Figures: 4 (coordinates), 5 (bandwidth), 8 (single-session ALM),
 // 10 (multi-session market scheduling), somo (Section 3.2 aggregation
 // study), churn (SOMO mass-crash recovery), chaos (fault-injected
-// self-healing ALM session), ablations (design-choice studies).
+// self-healing ALM session), ablations (design-choice studies), load
+// (control-plane soak: admission control, shedding and preemption
+// damping under sustained arrivals; opt-in like obs/scale/audit).
 package main
 
 import (
@@ -37,7 +39,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all, or obs/scale/audit (not part of all)")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all, or obs/scale/audit/load (not part of all)")
 		seed    = flag.Int64("seed", 1, "experiment seed (same seed => identical output)")
 		runs    = flag.Int("runs", 0, "override repetition count (0 = experiment default)")
 		hosts   = flag.Int("hosts", 0, "override pool size (0 = paper default 1200)")
@@ -47,9 +49,10 @@ func main() {
 
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		benchJSON  = flag.String("benchjson", "", "append the scale study's bench trajectory to this bench-scale/v2 JSON file (existing runs are kept); enables per-cell wall/alloc/memory measurement")
+		benchJSON  = flag.String("benchjson", "", "append the scale/load study's bench trajectory to this JSON file (existing runs are kept); enables per-cell wall-clock measurement")
 		benchLabel = flag.String("bench-label", "dev", "label for the bench run appended to -benchjson (a run with the same label is replaced)")
 		scaleRT    = flag.Int("scale-runtime", 0, "scale figure: simulated seconds per ring (0 = default 60)")
+		loadRT     = flag.Int("load-runtime", 0, "load figure: simulated seconds per cell (0 = default 600)")
 	)
 	flag.Parse()
 
@@ -218,8 +221,45 @@ func main() {
 			break
 		}
 	}
+	for _, w := range want {
+		if w == "load" {
+			opts := experiments.LoadOptions{
+				Hosts:   *hosts,
+				Seed:    *seed,
+				Workers: *workers,
+				Window:  eventsim.Time(*loadRT) * eventsim.Second,
+				Bench:   *benchJSON != "",
+			}
+			run("load study", func() (experiments.Result, error) {
+				res, err := experiments.Load(opts)
+				if err != nil {
+					return nil, err
+				}
+				if n := res.ViolationCount(); n > 0 {
+					fmt.Fprintf(os.Stderr, "load: %d invariant violation(s)\n", n)
+					exitCode = 1
+				}
+				if *benchJSON != "" {
+					existing, err := os.ReadFile(*benchJSON)
+					if err != nil && !os.IsNotExist(err) {
+						return nil, err
+					}
+					out, err := res.AppendBenchJSON(existing, *benchLabel)
+					if err != nil {
+						return nil, err
+					}
+					if err := os.WriteFile(*benchJSON, out, 0o644); err != nil {
+						return nil, err
+					}
+					fmt.Fprintf(os.Stderr, "wrote %s (run %q)\n", *benchJSON, *benchLabel)
+				}
+				return res, nil
+			})
+			break
+		}
+	}
 	if len(results) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, obs, scale, audit, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, obs, scale, audit, load, all)\n", *fig)
 		os.Exit(2)
 	}
 

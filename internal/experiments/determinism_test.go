@@ -118,6 +118,34 @@ func TestScaleWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// The load study is the control plane's soak harness, so like the
+// audit it is diffed across three worker counts: per-cell engines plus
+// pre-drawn arrival/churn schedules must render byte-identically
+// however the cells are spread over workers.
+func TestLoadWorkerDeterminism(t *testing.T) {
+	run := func(w int) (Result, error) {
+		opts := smallLoad(1)
+		opts.Hosts = 300
+		opts.Window = 45 * eventsim.Second
+		opts.Workers = w
+		return Load(opts)
+	}
+	base, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(base)
+	for _, w := range []int{4, 16} {
+		res, err := run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderAll(res); got != want {
+			t.Errorf("load output differs between Workers=1 and Workers=%d:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s", w, want, w, got)
+		}
+	}
+}
+
 // The audit is held to a stricter standard than the figures — the
 // issue of record is a byte-identical reproduction trace, so the
 // rendered output is diffed across three worker counts, not two.

@@ -1,0 +1,706 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"p2ppool/internal/alm"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/faultnet"
+	"p2ppool/internal/invariant"
+	"p2ppool/internal/obs"
+	"p2ppool/internal/par"
+	"p2ppool/internal/sched"
+	"p2ppool/internal/stats"
+	"p2ppool/internal/transport"
+)
+
+// LoadOptions parameterizes the sustained-load study: the scheduler
+// control plane (admission control, retry budgets, preemption damping,
+// overload shedding) driven for a long virtual window by Poisson
+// session arrivals, continuous churn, and — per cell — a diurnal rate
+// curve, a flash crowd into one hot session, or a flat overload. The
+// invariant audit's continuous checks (slot conservation, ledger,
+// tree validity) sweep the pool throughout.
+type LoadOptions struct {
+	// Hosts is the pool size.
+	Hosts int
+	// GroupSize is the arriving sessions' size including the root.
+	GroupSize int
+	// Window is the observation window.
+	Window eventsim.Time
+	// TickEvery is the control plane's Tick period.
+	TickEvery eventsim.Time
+	// SweepEvery is the invariant-sweep interval.
+	SweepEvery eventsim.Time
+	// ArrivalRate is the baseline session arrival rate in sessions per
+	// virtual second; <= 0 derives it from the pool size so utilization
+	// lands near saturation (that is the regime the control plane
+	// exists for).
+	ArrivalRate float64
+	// LifetimeMean is the mean session lifetime (exponential).
+	LifetimeMean eventsim.Time
+	// Cells selects the load shapes to run; defaults to all four:
+	// "steady" (flat Poisson at ArrivalRate), "diurnal" (rate modulated
+	// 0.5x..1.3x over the window), "flash" (steady plus a flash crowd
+	// of FlashJoins members into one hot P1 session), and "overload"
+	// (flat 2.5x).
+	Cells []string
+	// FlashJoins is the flash-crowd size; FlashWindow the burst width;
+	// FlashAt its start. The hot session is submitted 30s before.
+	FlashJoins  int
+	FlashWindow eventsim.Time
+	FlashAt     eventsim.Time
+	// CrashRate is the churn intensity in crashes per virtual minute;
+	// RestartDelay how long a crashed host stays down; DetectDelay the
+	// crash-to-NodeFailed detection time.
+	CrashRate    float64
+	RestartDelay eventsim.Time
+	DetectDelay  eventsim.Time
+	Seed         int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// output is identical for any worker count.
+	Workers int
+	// Bench enables wall-clock measurement (cells then run
+	// sequentially so the readings are attributable).
+	Bench bool
+	// Registry, when set, instruments every cell's service and fault
+	// layer. Handles are not synchronized: share a registry across
+	// cells only with a single cell or Workers = 1.
+	Registry *obs.Registry
+}
+
+func (o LoadOptions) withDefaults() LoadOptions {
+	if o.Hosts <= 0 {
+		o.Hosts = 8000
+	}
+	if o.GroupSize <= 0 {
+		o.GroupSize = 4
+	}
+	if o.Window <= 0 {
+		o.Window = 10 * eventsim.Minute
+	}
+	if o.TickEvery <= 0 {
+		o.TickEvery = 250 * eventsim.Millisecond
+	}
+	if o.SweepEvery <= 0 {
+		o.SweepEvery = 5 * eventsim.Second
+	}
+	if o.ArrivalRate <= 0 {
+		// Mean paper degree is ~3 slots/host and a GroupSize-4 session
+		// reserves ~6, so capacity is ~Hosts/2 concurrent sessions;
+		// rate*lifetime at these defaults demands about half of that —
+		// hot enough that member-host collisions force real admission
+		// decisions, with room for the overload cell's 2.5x on top.
+		o.ArrivalRate = float64(o.Hosts) / 1000
+	}
+	if o.LifetimeMean <= 0 {
+		o.LifetimeMean = 5 * eventsim.Minute
+	}
+	if len(o.Cells) == 0 {
+		o.Cells = []string{"steady", "diurnal", "flash", "overload"}
+	}
+	if o.FlashJoins <= 0 {
+		o.FlashJoins = 3 * o.Hosts / 5
+		if o.FlashJoins > 1500 {
+			o.FlashJoins = 1500
+		}
+	}
+	if o.FlashWindow <= 0 {
+		o.FlashWindow = 750 * eventsim.Millisecond
+	}
+	if o.FlashAt <= 0 {
+		o.FlashAt = o.Window / 2
+	}
+	if o.CrashRate <= 0 {
+		o.CrashRate = 4
+	}
+	if o.RestartDelay <= 0 {
+		o.RestartDelay = 20 * eventsim.Second
+	}
+	if o.DetectDelay <= 0 {
+		o.DetectDelay = 2 * eventsim.Second
+	}
+	return o
+}
+
+// LoadRow is one cell's outcome. Everything except the Bench* fields
+// is a pure function of the seed (worker-independent).
+type LoadRow struct {
+	Cell string
+	// Admission funnel, summed over priority classes.
+	Submitted    int
+	Admitted     int
+	Rejected     int
+	ShedDeadline int
+	ShedOverload int
+	ShedBudget   int
+	RootDied     int
+	// PeakLive / EndLive are the concurrent-session high-water mark and
+	// the count still planned at the window's end.
+	PeakLive int
+	EndLive  int
+	// Planner activity.
+	Plans           int
+	PlanFailures    int
+	Replans         int
+	Preemptions     int
+	PreemptDeferred int
+	// MaxSessionReplans is the worst per-session replan count observed
+	// at any sweep — the replan-cascade bound.
+	MaxSessionReplans int
+	Crashes           int
+	FlashJoins        int // crowd joins actually applied
+	// Admission latency percentiles, virtual ms from Submit to first
+	// plan.
+	AdmitP50MS float64
+	AdmitP99MS float64
+	// SLO is per-class admission-SLO compliance, indexed by priority
+	// 1..3 (index 0 unused).
+	SLO [sched.NumClasses + 1]float64
+	// Violations counts invariant-sweep violations; FirstViolation is
+	// the earliest one's rendering (empty when clean).
+	Violations     int
+	FirstViolation string
+
+	// BenchWallMS / BenchPlansPerSec are wall-clock measurements filled
+	// only when LoadOptions.Bench is set.
+	BenchWallMS      float64 `json:"wall_ms"`
+	BenchPlansPerSec float64 `json:"plans_per_sec"`
+}
+
+// PlansPerVirtualSec is planner throughput against the virtual clock —
+// deterministic, unlike the Bench fields.
+func (r LoadRow) PlansPerVirtualSec(window eventsim.Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(r.Plans) / (float64(window) / float64(eventsim.Second))
+}
+
+// LoadResult is the sustained-load study.
+type LoadResult struct {
+	Opts LoadOptions
+	Rows []LoadRow
+}
+
+// ViolationCount returns the total invariant violations across cells —
+// the study passes iff it is zero.
+func (r *LoadResult) ViolationCount() int {
+	n := 0
+	for _, row := range r.Rows {
+		n += row.Violations
+	}
+	return n
+}
+
+// Row returns the named cell's row (nil when absent).
+func (r *LoadResult) Row(cell string) *LoadRow {
+	for i := range r.Rows {
+		if r.Rows[i].Cell == cell {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Load runs the sustained-load study: per cell, a long-running
+// scheduler service under Poisson arrivals, churn and the cell's load
+// shape, with continuous invariant sweeps.
+func Load(opts LoadOptions) (*LoadResult, error) {
+	opts = opts.withDefaults()
+	if opts.GroupSize+1 > opts.Hosts {
+		return nil, fmt.Errorf("experiments: group size %d exceeds pool size %d", opts.GroupSize, opts.Hosts)
+	}
+	workers := opts.Workers
+	if opts.Bench {
+		// Sequential cells keep wall-clock readings attributable.
+		workers = 1
+	}
+	rows, err := par.MapErr(workers, len(opts.Cells), func(i int) (LoadRow, error) {
+		return loadRun(i, opts.Cells[i], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LoadResult{Opts: opts, Rows: rows}, nil
+}
+
+// loadWorld builds the static world shared by every cell: host
+// coordinates (the latency metric) and degree bounds. It is a pure
+// function of the seed, so all cells price the same pool.
+func loadWorld(opts LoadOptions) (alm.LatencyFunc, []int) {
+	r := rand.New(rand.NewSource(opts.Seed + 2))
+	xs := make([]float64, opts.Hosts)
+	ys := make([]float64, opts.Hosts)
+	for h := 0; h < opts.Hosts; h++ {
+		xs[h] = r.Float64() * 200
+		ys[h] = r.Float64() * 200
+	}
+	lat := func(a, b int) float64 {
+		if a == b {
+			return 0
+		}
+		dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+		// Euclidean plus a constant floor stays a metric, so the
+		// planner's indexed helper search is sound.
+		return 5 + math.Sqrt(dx*dx+dy*dy)
+	}
+	degrees := alm.PaperDegrees(opts.Hosts, r)
+	return lat, degrees
+}
+
+// loadMultiplier is the cell's arrival-rate modulation at time t,
+// relative to ArrivalRate.
+func loadMultiplier(cell string, t, window eventsim.Time) float64 {
+	switch cell {
+	case "diurnal":
+		// Half-to-peak curve over the window: 0.5x at the edges, 1.3x
+		// at the midpoint.
+		s := math.Sin(math.Pi * float64(t) / float64(window))
+		return 0.5 + 0.8*s*s
+	case "overload":
+		return 2.5
+	default: // steady, flash
+		return 1
+	}
+}
+
+// loadPeakMultiplier bounds loadMultiplier over the window (the
+// thinning envelope).
+func loadPeakMultiplier(cell string) float64 {
+	switch cell {
+	case "diurnal":
+		return 1.3
+	case "overload":
+		return 2.5
+	default:
+		return 1
+	}
+}
+
+// loadArrival is one pre-drawn session arrival.
+type loadArrival struct {
+	at      eventsim.Time
+	life    eventsim.Time
+	id      sched.SessionID
+	pri     int
+	root    int
+	members []int
+}
+
+// genLoadArrivals pre-draws a cell's whole arrival schedule
+// sequentially — Poisson arrivals via thinning against the peak rate,
+// priority mix 20/30/50, distinct rosters, exponential lifetimes — so
+// the event loop replays fixed data and the cell is deterministic.
+func genLoadArrivals(cell string, rng *rand.Rand, opts LoadOptions) []loadArrival {
+	peak := opts.ArrivalRate * loadPeakMultiplier(cell)
+	var out []loadArrival
+	id := sched.SessionID(1)
+	for at := eventsim.Time(0); ; {
+		gap := rng.ExpFloat64() / peak * float64(eventsim.Second)
+		at += eventsim.Time(gap)
+		if at >= opts.Window {
+			return out
+		}
+		if rng.Float64()*loadPeakMultiplier(cell) > loadMultiplier(cell, at, opts.Window) {
+			continue // thinned away
+		}
+		pri := 3
+		switch u := rng.Float64(); {
+		case u < 0.2:
+			pri = 1
+		case u < 0.5:
+			pri = 2
+		}
+		roster := make([]int, 0, opts.GroupSize)
+		seen := make(map[int]bool, opts.GroupSize)
+		for len(roster) < opts.GroupSize {
+			h := rng.Intn(opts.Hosts)
+			if !seen[h] {
+				seen[h] = true
+				roster = append(roster, h)
+			}
+		}
+		out = append(out, loadArrival{
+			at:      at,
+			life:    eventsim.Time(rng.ExpFloat64() * float64(opts.LifetimeMean)),
+			id:      id,
+			pri:     pri,
+			root:    roster[0],
+			members: roster[1:],
+		})
+		id++
+	}
+}
+
+// hotSessionID tags the flash cell's crowd target; far above the
+// arrival ID range.
+const hotSessionID = sched.SessionID(1 << 30)
+
+func loadRun(idx int, cell string, opts LoadOptions) (LoadRow, error) {
+	start := time.Now()
+	lat, degrees := loadWorld(opts)
+	engine := eventsim.New(opts.Seed + int64(idx))
+	sim := transport.NewSim(engine, transport.SimOptions{Latency: transport.LatencyFunc(lat)})
+	f := faultnet.New(sim, faultnet.Options{Seed: opts.Seed*100 + int64(idx)})
+	// Retry/backoff stay at the package defaults (budget 3, base 500ms
+	// doubling to 8s, compressed per class): like the DHT's SuspectTTL
+	// in the audit harness, these are absolute times coupled to other
+	// absolute times — here the 2s/4s/8s admit deadlines — not to the
+	// window, so a harness that overrides the deadlines must rescale
+	// the backoff with them or the budget won't fit the SLO.
+	sv := sched.NewService(degrees, lat, sched.ServiceConfig{
+		Sched: sched.Config{ScoreLatency: lat, MetricScore: true},
+		Seed:  opts.Seed*10 + int64(idx) + 5,
+		// The damper is sized to the pool, as an operator would:
+		// score-driven market planning preempts a helper or two per
+		// high-class admission in normal operation, so the rate floor
+		// is well above ArrivalRate and the stock 8/s bucket would
+		// throttle planning itself, not just storms.
+		PreemptRate:  16 * opts.ArrivalRate,
+		PreemptBurst: 32 * opts.ArrivalRate,
+	})
+	// Nil registry handles are no-ops, so wiring is unconditional.
+	sv.Instrument(opts.Registry)
+	f.Instrument(opts.Registry, nil)
+
+	row := LoadRow{Cell: cell}
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// --- arrivals and departures ---
+	arng := rand.New(rand.NewSource(opts.Seed*1000 + int64(idx)*17 + 3))
+	arrivals := genLoadArrivals(cell, arng, opts)
+	for _, a := range arrivals {
+		a := a
+		engine.At(a.at, func() {
+			if f.Crashed(transport.Addr(a.root)) {
+				return // the would-be source is down; the session never forms
+			}
+			members := make([]int, 0, len(a.members))
+			for _, m := range a.members {
+				if !f.Crashed(transport.Addr(m)) {
+					members = append(members, m)
+				}
+			}
+			if len(members) == 0 {
+				return
+			}
+			s := &sched.Session{ID: a.id, Priority: a.pri, Root: a.root, Members: members}
+			if _, err := sv.Submit(f.Now(), s); err != nil {
+				fail(err)
+			}
+		})
+		engine.At(a.at+a.life, func() { sv.EndSession(a.id) })
+	}
+
+	// --- flash crowd (flash cell only) ---
+	if cell == "flash" {
+		perm := arng.Perm(opts.Hosts)
+		hot := &sched.Session{
+			ID:       hotSessionID,
+			Priority: 1,
+			Root:     perm[0],
+			Members:  append([]int(nil), perm[1:opts.GroupSize]...),
+		}
+		crowd := perm[opts.GroupSize : opts.GroupSize+opts.FlashJoins]
+		hotAt := opts.FlashAt - 30*eventsim.Second
+		if hotAt < 0 {
+			hotAt = 0
+		}
+		engine.At(hotAt, func() {
+			if f.Crashed(transport.Addr(hot.Root)) {
+				return
+			}
+			if _, err := sv.Submit(f.Now(), hot); err != nil {
+				fail(err)
+			}
+		})
+		f.Install(faultnet.FlashCrowd(opts.FlashAt, len(crowd), opts.FlashWindow, func(i int, fn *faultnet.Net) {
+			h := crowd[i]
+			if fn.Crashed(transport.Addr(h)) {
+				return
+			}
+			// AddMember fails when the hot session never formed or was
+			// shed; the crowd then has nothing to join.
+			if err := sv.AddMember(hotSessionID, h); err == nil {
+				row.FlashJoins++
+			}
+		}))
+	}
+
+	// --- churn ---
+	downSince := make(map[int]eventsim.Time)
+	f.OnCrash(func(a transport.Addr) {
+		h := int(a)
+		downSince[h] = f.Now()
+		f.After(opts.DetectDelay, func() {
+			if f.Crashed(a) {
+				sv.NodeFailed(f.Now(), h)
+			}
+		})
+	})
+	f.OnRestart(func(a transport.Addr) {
+		delete(downSince, int(a))
+		sv.NodeRecovered(f.Now(), int(a))
+	})
+	if opts.CrashRate > 0 {
+		crng := rand.New(rand.NewSource(opts.Seed*1000 + int64(idx)*31 + 7))
+		for at := eventsim.Time(0); ; {
+			gap := crng.ExpFloat64() / opts.CrashRate * float64(eventsim.Minute)
+			at += eventsim.Time(gap)
+			if at >= opts.Window {
+				break
+			}
+			victim := transport.Addr(crng.Intn(opts.Hosts))
+			f.CrashAt(at, victim)
+			f.RestartAt(at+opts.RestartDelay, victim)
+		}
+	}
+
+	// --- control-plane ticks ---
+	var tick func()
+	tick = func() {
+		if err := sv.Tick(f.Now()); err != nil {
+			fail(err)
+			return
+		}
+		if f.Now() < opts.Window {
+			f.After(opts.TickEvery, tick)
+		}
+	}
+	f.After(opts.TickEvery, tick)
+
+	// --- invariant sweeps ---
+	ireg := invariant.NewRegistry()
+	world := &invariant.World{
+		Sched:  sv.Scheduler(),
+		Bounds: degrees,
+		Down:   func(h int) bool { return f.Crashed(transport.Addr(h)) },
+		DownSince: func(h int) (eventsim.Time, bool) {
+			t, ok := downSince[h]
+			return t, ok
+		},
+		// Crash-to-repair is detection plus at most one tick (failed
+		// in-place repairs go dirty, and dirty sessions are skipped).
+		RepairLag: opts.DetectDelay + opts.TickEvery + 2*eventsim.Second,
+	}
+	sweep := func() {
+		world.Now = engine.Now()
+		for _, v := range ireg.Sweep(world, invariant.Continuous) {
+			row.Violations++
+			if row.FirstViolation == "" {
+				row.FirstViolation = fmt.Sprintf("t=%.1fs %s", float64(engine.Now())/1000, v.String())
+			}
+		}
+		for _, s := range sv.Scheduler().Sessions() {
+			if s.Replans > row.MaxSessionReplans {
+				row.MaxSessionReplans = s.Replans
+			}
+		}
+	}
+	for t := opts.SweepEvery; t <= opts.Window; t += opts.SweepEvery {
+		engine.At(t, sweep)
+	}
+
+	engine.RunUntil(opts.Window + eventsim.Second)
+	if firstErr != nil {
+		return LoadRow{}, fmt.Errorf("load %s: %w", cell, firstErr)
+	}
+
+	// --- harvest ---
+	st := sv.Stats()
+	for p := 1; p <= sched.NumClasses; p++ {
+		c := st.Class[p]
+		row.Submitted += c.Submitted
+		row.Admitted += c.Admitted
+		row.Rejected += c.Rejected
+		row.ShedDeadline += c.ShedDeadline
+		row.ShedOverload += c.ShedOverload
+		row.ShedBudget += c.ShedBudget
+		row.RootDied += c.RootDied
+		row.SLO[p] = c.SLOCompliance()
+	}
+	row.PeakLive = st.PeakLive
+	row.EndLive = sv.LiveSessions()
+	row.Plans = st.Plans
+	row.PlanFailures = st.PlanFailures
+	row.PreemptDeferred = st.PreemptDeferred
+	tot := sv.Scheduler().Totals()
+	row.Replans = tot.Replans
+	row.Preemptions = tot.Preemptions
+	row.Crashes = int(f.Counters().Crashes)
+	lats := sv.AdmitLatencies()
+	row.AdmitP50MS = stats.Percentile(lats, 50)
+	row.AdmitP99MS = stats.Percentile(lats, 99)
+	if opts.Bench {
+		wall := time.Since(start)
+		row.BenchWallMS = float64(wall.Milliseconds())
+		if s := wall.Seconds(); s > 0 {
+			row.BenchPlansPerSec = float64(row.Plans) / s
+		}
+	}
+	return row, nil
+}
+
+// Tables renders the sustained-load study.
+func (r *LoadResult) Tables() []Table {
+	funnel := Table{
+		Title: "Load: control plane under sustained arrivals, churn and overload",
+		Columns: []string{
+			"cell", "submitted", "admitted", "rejected", "shed dl", "shed ovl", "shed budget",
+			"root died", "peak live", "end live", "plans", "plans/vs", "fail", "p50 ms", "p99 ms", "violations",
+		},
+		Note: fmt.Sprintf("%.0f-minute window, %.1f sessions/s baseline arrivals, %.0f crashes/min churn; "+
+			"plans/vs = plans per virtual second; shed dl/ovl/budget = admission-deadline, overload "+
+			"(lowest priority first) and retry-budget shedding; invariant sweeps (slot conservation, "+
+			"ledger, tree validity) every %.0fs must stay at zero violations",
+			float64(r.Opts.Window)/float64(eventsim.Minute), r.Opts.ArrivalRate,
+			r.Opts.CrashRate, float64(r.Opts.SweepEvery)/1000),
+	}
+	slo := Table{
+		Title: "Load: admission SLO compliance and preemption damping per priority class",
+		Columns: []string{
+			"cell", "P1 SLO", "P2 SLO", "P3 SLO", "preempts", "deferred",
+			"replans", "max/session", "crashes", "flash joins",
+		},
+		Note: fmt.Sprintf("SLO = sessions first planned within the class admit deadline (2s/4s/8s) over submitted; "+
+			"the flash cell pushes %d joins into one hot P1 session over %.2gs — high-priority compliance must "+
+			"hold while the token bucket and hold-down keep preemptions and replans from cascading",
+			r.Opts.FlashJoins, float64(r.Opts.FlashWindow)/1000),
+	}
+	for _, row := range r.Rows {
+		funnel.Rows = append(funnel.Rows, []string{
+			row.Cell, d(row.Submitted), d(row.Admitted), d(row.Rejected),
+			d(row.ShedDeadline), d(row.ShedOverload), d(row.ShedBudget),
+			d(row.RootDied), d(row.PeakLive), d(row.EndLive),
+			d(row.Plans), f1(row.PlansPerVirtualSec(r.Opts.Window)), d(row.PlanFailures),
+			f1(row.AdmitP50MS), f1(row.AdmitP99MS), d(row.Violations),
+		})
+		slo.Rows = append(slo.Rows, []string{
+			row.Cell, f3(row.SLO[1]), f3(row.SLO[2]), f3(row.SLO[3]),
+			d(row.Preemptions), d(row.PreemptDeferred),
+			d(row.Replans), d(row.MaxSessionReplans), d(row.Crashes), d(row.FlashJoins),
+		})
+	}
+	tables := []Table{funnel, slo}
+	var bad []LoadRow
+	for _, row := range r.Rows {
+		if row.Violations > 0 {
+			bad = append(bad, row)
+		}
+	}
+	if len(bad) > 0 {
+		viol := Table{
+			Title:   "Load: invariant violations",
+			Columns: []string{"cell", "violations", "first"},
+		}
+		for _, row := range bad {
+			viol.Rows = append(viol.Rows, []string{row.Cell, d(row.Violations), row.FirstViolation})
+		}
+		tables = append(tables, viol)
+	}
+	return tables
+}
+
+// loadBenchFile is the BENCH_load.json schema, version bench-load/v1:
+//
+//	{
+//	  "schema": "bench-load/v1",
+//	  "runs": [{
+//	    "label": "pr7",            // which PR/state produced the rows
+//	    "seed": 1, "window_ms": 600000, "hosts": 2500,
+//	    "rows": [{
+//	      "cell": "steady",        // load shape
+//	      "wall_ms": 0,            // cell wall time
+//	      "plans": 0,              // plans executed (deterministic)
+//	      "plans_per_sec": 0,      // plans / wall time: scheduler throughput
+//	      "peak_live": 0,          // concurrent-session high-water mark
+//	      "p99_admit_ms": 0,       // p99 admission latency (virtual ms)
+//	      "violations": 0          // invariant-sweep violations (must be 0)
+//	    }, ...]
+//	  }, ...]
+//	}
+//
+// Each bench invocation appends (or replaces) one labeled run, mirroring
+// the bench-scale/v2 convention, so the scheduler-throughput trajectory
+// accumulates per-PR.
+type loadBenchFile struct {
+	Schema string         `json:"schema"`
+	Runs   []loadBenchRun `json:"runs"`
+}
+
+type loadBenchRun struct {
+	Label    string         `json:"label"`
+	Seed     int64          `json:"seed"`
+	WindowMS float64        `json:"window_ms"`
+	Hosts    int            `json:"hosts"`
+	Rows     []loadBenchRow `json:"rows"`
+}
+
+type loadBenchRow struct {
+	Cell        string  `json:"cell"`
+	WallMS      float64 `json:"wall_ms"`
+	Plans       int     `json:"plans"`
+	PlansPerSec float64 `json:"plans_per_sec"`
+	PeakLive    int     `json:"peak_live"`
+	P99AdmitMS  float64 `json:"p99_admit_ms"`
+	Violations  int     `json:"violations"`
+}
+
+// AppendBenchJSON merges this result into an existing BENCH_load.json
+// (existing may be nil/empty for a fresh file) as a run labeled label,
+// replacing any previous run with the same label. Call only on a result
+// produced with LoadOptions.Bench set; otherwise the wall-clock fields
+// are zero.
+func (r *LoadResult) AppendBenchJSON(existing []byte, label string) ([]byte, error) {
+	if label == "" {
+		label = "dev"
+	}
+	f := loadBenchFile{Schema: "bench-load/v1"}
+	if len(existing) > 0 {
+		if err := json.Unmarshal(existing, &f); err != nil {
+			return nil, fmt.Errorf("experiments: parsing load bench file: %w", err)
+		}
+		if f.Schema != "bench-load/v1" {
+			return nil, fmt.Errorf("experiments: unknown load bench schema %q", f.Schema)
+		}
+	}
+	run := loadBenchRun{
+		Label:    label,
+		Seed:     r.Opts.Seed,
+		WindowMS: float64(r.Opts.Window),
+		Hosts:    r.Opts.Hosts,
+	}
+	for _, row := range r.Rows {
+		run.Rows = append(run.Rows, loadBenchRow{
+			Cell:        row.Cell,
+			WallMS:      row.BenchWallMS,
+			Plans:       row.Plans,
+			PlansPerSec: row.BenchPlansPerSec,
+			PeakLive:    row.PeakLive,
+			P99AdmitMS:  row.AdmitP99MS,
+			Violations:  row.Violations,
+		})
+	}
+	kept := f.Runs[:0]
+	for _, old := range f.Runs {
+		if old.Label != label {
+			kept = append(kept, old)
+		}
+	}
+	f.Runs = append(kept, run)
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

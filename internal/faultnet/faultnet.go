@@ -275,6 +275,29 @@ func (f *Net) RestartAt(at eventsim.Time, a transport.Addr) {
 	f.Install([]Step{{At: at, Do: func(f *Net) { f.Restart(a) }}})
 }
 
+// FlashCrowd builds a script for a burst of n arrivals spread evenly
+// over [at, at+window): do(i) runs for arrival i = 0..n-1 at
+// at + window*i/n, after a trace landmark at the burst's start. The
+// load and chaos studies share this primitive: hand the steps to
+// Install (possibly merged with a crash script) and wire do to the
+// join path under test. A window of 0 fires the whole crowd at once —
+// the worst case. n <= 0 yields an empty script.
+func FlashCrowd(at eventsim.Time, n int, window eventsim.Time, do func(i int, f *Net)) []Step {
+	if n <= 0 {
+		return nil
+	}
+	steps := make([]Step, 0, n+1)
+	steps = append(steps, Step{At: at, Do: func(f *Net) { f.Mark("flash-crowd") }})
+	for i := 0; i < n; i++ {
+		i := i
+		steps = append(steps, Step{
+			At: at + window*eventsim.Time(i)/eventsim.Time(n),
+			Do: func(f *Net) { do(i, f) },
+		})
+	}
+	return steps
+}
+
 // --- transport.Network ---
 
 // Attach implements transport.Network. The handler is wrapped so that

@@ -239,3 +239,47 @@ func TestScriptedFaults(t *testing.T) {
 		}
 	}
 }
+
+func TestFlashCrowd(t *testing.T) {
+	e, _, f := newNet(8)
+	type join struct {
+		i  int
+		at eventsim.Time
+	}
+	var joins []join
+	f.Install(FlashCrowd(1000, 4, 200, func(i int, f *Net) {
+		joins = append(joins, join{i, f.Now()})
+	}))
+	e.Run(0)
+	// Four joins evenly over [1000, 1200): 1000, 1050, 1100, 1150, in
+	// arrival order.
+	want := []eventsim.Time{1000, 1050, 1100, 1150}
+	if len(joins) != len(want) {
+		t.Fatalf("joins = %v, want times %v", joins, want)
+	}
+	for i, j := range joins {
+		if j.i != i || j.at != want[i] {
+			t.Fatalf("join %d = %+v, want index %d at %v", i, j, i, want[i])
+		}
+	}
+
+	// Zero window fires the whole crowd at one instant.
+	joins = nil
+	f.Install(FlashCrowd(2000, 3, 0, func(i int, f *Net) {
+		joins = append(joins, join{i, f.Now()})
+	}))
+	e.Run(0)
+	if len(joins) != 3 {
+		t.Fatalf("zero-window crowd fired %d joins, want 3", len(joins))
+	}
+	for i, j := range joins {
+		if j.i != i || j.at != 2000 {
+			t.Fatalf("zero-window join %d = %+v, want index %d at 2000", i, j, i)
+		}
+	}
+
+	// Empty crowds produce no script at all.
+	if got := FlashCrowd(0, 0, 100, func(int, *Net) {}); got != nil {
+		t.Fatalf("FlashCrowd(n=0) = %v, want nil", got)
+	}
+}

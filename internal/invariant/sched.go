@@ -2,6 +2,7 @@ package invariant
 
 import (
 	"fmt"
+	"sort"
 
 	"p2ppool/internal/sched"
 )
@@ -159,7 +160,23 @@ func checkLedger(w *World) []Violation {
 		if !settled {
 			continue
 		}
-		for h := 0; h < reg.NumHosts(); h++ {
+		// Compare only over hosts either side actually names — the sorted
+		// union of tree-degree and holdings keys. Any host outside both
+		// trivially agrees (0 == 0), so scanning the whole pool per
+		// session would make the sweep O(sessions × hosts): at load-study
+		// scale (thousands of sessions, thousands of hosts, a sweep every
+		// few virtual seconds) that is the audit's entire budget.
+		hosts := make([]int, 0, len(deg)+len(held[s.ID]))
+		for h := range deg {
+			hosts = append(hosts, h)
+		}
+		for h := range held[s.ID] {
+			if _, both := deg[h]; !both {
+				hosts = append(hosts, h)
+			}
+		}
+		sort.Ints(hosts)
+		for _, h := range hosts {
 			want := deg[h]
 			got := held[s.ID][h]
 			if want != got {

@@ -218,7 +218,7 @@ func TestNodeFailedIdempotent(t *testing.T) {
 	}
 	s.Tree = tree
 	sc.sessions[s.ID] = s
-	if err := sc.reserveTree(s, tree, s.memberSet()); err != nil {
+	if err := sc.reserveTree(s, tree, s.memberSet(), planCtx{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -253,5 +253,46 @@ func TestNodeFailedIdempotent(t *testing.T) {
 	third := sc.NodeFailed(1)
 	if len(third) != 1 || s.Replans != 2 {
 		t.Fatalf("post-recovery failure: affected %v, Replans = %d; want [1], 2", third, s.Replans)
+	}
+}
+
+// TestNodeRecoveredIdempotent pins the mirror-image contract of the
+// NodeFailed double-fire fix: recovery detection also fires from
+// several independent paths (heartbeat resumption, partition heal), and
+// the duplicate NodeRecovered must be a counted-once no-op. Without the
+// guard, every stale recovery report inflates the recovery totals and
+// re-triggers any "capacity returned" control-plane hooks. A recovery
+// report for a host that never failed must also change nothing.
+func TestNodeRecoveredIdempotent(t *testing.T) {
+	net, degrees := buildWorld(t, 100, 19)
+	sc := NewScheduler(degrees, net.Latency, Config{})
+
+	if sc.NodeRecovered(42) {
+		t.Fatal("recovery of a never-failed host reported a transition")
+	}
+	if got := sc.Totals().NodeRecoveries; got != 0 {
+		t.Fatalf("spurious recovery counted: NodeRecoveries = %d, want 0", got)
+	}
+
+	sc.NodeFailed(42)
+	if !sc.NodeRecovered(42) {
+		t.Fatal("first recovery must report a transition")
+	}
+	// Second detection path (e.g. partition heal) fires for the same
+	// recovery.
+	if sc.NodeRecovered(42) {
+		t.Fatal("second NodeRecovered for the same recovery must be a no-op")
+	}
+	if got := sc.Totals().NodeRecoveries; got != 1 {
+		t.Fatalf("double detection double-counted: NodeRecoveries = %d, want 1", got)
+	}
+	if got := sc.Registry().AvailableFor(42, 3); got != degrees[42] {
+		t.Fatalf("recovered host offers %d slots, want %d", got, degrees[42])
+	}
+
+	// A genuine second failure/recovery cycle counts again.
+	sc.NodeFailed(42)
+	if !sc.NodeRecovered(42) || sc.Totals().NodeRecoveries != 2 {
+		t.Fatalf("post-failure recovery not counted: NodeRecoveries = %d, want 2", sc.Totals().NodeRecoveries)
 	}
 }

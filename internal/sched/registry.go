@@ -22,6 +22,15 @@ type SessionID int
 // have that job be of the highest priority in that node").
 const MemberPriority = 0
 
+// PreemptGuard lets a control plane veto individual preemptions: it is
+// consulted for every allocation a reservation would displace and
+// returns whether displacing that session is currently allowed. A nil
+// guard allows everything (the plain market rule: strictly lower
+// priority is always preemptable). Guards must be pure with respect to
+// registry state — they may read control-plane state (rate limits,
+// hold-downs) but must not mutate the registry.
+type PreemptGuard func(victim SessionID) bool
+
 // allocation is one session's hold on some of a node's degree slots.
 type allocation struct {
 	Session  SessionID
@@ -61,7 +70,20 @@ func (d *DegreeTable) UsedAtOrAbove(p int) int {
 // AvailableFor returns the slots a priority-p requester could obtain:
 // free slots plus everything preemptable (strictly lower rank).
 func (d *DegreeTable) AvailableFor(p int) int {
-	v := d.Bound - d.UsedAtOrAbove(p)
+	return d.AvailableForGuarded(p, nil)
+}
+
+// AvailableForGuarded is AvailableFor under a preemption guard: slots
+// whose displacement the guard vetoes count as firm even when their
+// priority rank is lower.
+func (d *DegreeTable) AvailableForGuarded(p int, guard PreemptGuard) int {
+	firm := 0
+	for _, a := range d.allocs {
+		if a.Priority <= p || (guard != nil && !guard(a.Session)) {
+			firm += a.Slots
+		}
+	}
+	v := d.Bound - firm
 	if v < 0 {
 		return 0
 	}
@@ -81,19 +103,51 @@ type Registry struct {
 	// dead marks hosts that have failed: they offer no capacity and
 	// accept no reservations until revived.
 	dead []bool
+	// holdings indexes each session's allocations by host (host →
+	// slots), so Release and HeldBy touch only the hosts a session
+	// actually uses instead of scanning every table — the difference
+	// between O(pool) and O(tree) per replan once thousands of
+	// sessions churn against one pool.
+	holdings map[SessionID]map[int]int
 }
 
 // NewRegistry creates a registry for hosts 0..len(bounds)-1 with the
 // given degree bounds.
 func NewRegistry(bounds []int) *Registry {
 	r := &Registry{
-		tables: make([]DegreeTable, len(bounds)),
-		dead:   make([]bool, len(bounds)),
+		tables:   make([]DegreeTable, len(bounds)),
+		dead:     make([]bool, len(bounds)),
+		holdings: make(map[SessionID]map[int]int),
 	}
 	for i, b := range bounds {
 		r.tables[i].Bound = b
 	}
 	return r
+}
+
+// hold records sid gaining slots on host h in the holdings index.
+func (r *Registry) hold(sid SessionID, h, slots int) {
+	m := r.holdings[sid]
+	if m == nil {
+		m = make(map[int]int)
+		r.holdings[sid] = m
+	}
+	m[h] += slots
+}
+
+// unhold records sid losing slots on host h.
+func (r *Registry) unhold(sid SessionID, h, slots int) {
+	m := r.holdings[sid]
+	if m == nil {
+		return
+	}
+	m[h] -= slots
+	if m[h] <= 0 {
+		delete(m, h)
+	}
+	if len(m) == 0 {
+		delete(r.holdings, sid)
+	}
 }
 
 // SetDead marks host h failed: its existing allocations are dropped
@@ -104,6 +158,9 @@ func (r *Registry) SetDead(h int) {
 		return
 	}
 	r.dead[h] = true
+	for _, a := range r.tables[h].allocs {
+		r.unhold(a.Session, h, a.Slots)
+	}
 	r.tables[h].allocs = nil
 }
 
@@ -122,10 +179,15 @@ func (r *Registry) Table(h int) *DegreeTable { return &r.tables[h] }
 // AvailableFor returns the slots a priority-p requester could obtain on
 // host h (zero for a dead host).
 func (r *Registry) AvailableFor(h, p int) int {
+	return r.AvailableForGuarded(h, p, nil)
+}
+
+// AvailableForGuarded is AvailableFor under a preemption guard.
+func (r *Registry) AvailableForGuarded(h, p int, guard PreemptGuard) int {
 	if r.dead[h] {
 		return 0
 	}
-	return r.tables[h].AvailableFor(p)
+	return r.tables[h].AvailableForGuarded(p, guard)
 }
 
 // Reserve grants sid `slots` slots on host h at priority p, preempting
@@ -133,6 +195,13 @@ func (r *Registry) AvailableFor(h, p int) int {
 // as needed. It returns the sessions that lost slots. It fails if even
 // full preemption cannot fit the request.
 func (r *Registry) Reserve(h int, slots int, p int, sid SessionID) ([]SessionID, error) {
+	return r.ReserveGuarded(h, slots, p, sid, nil)
+}
+
+// ReserveGuarded is Reserve under a preemption guard: allocations the
+// guard vetoes are treated as firm, so the request fails rather than
+// displace them. A nil guard is plain Reserve.
+func (r *Registry) ReserveGuarded(h int, slots int, p int, sid SessionID, guard PreemptGuard) ([]SessionID, error) {
 	t := &r.tables[h]
 	if slots <= 0 {
 		return nil, fmt.Errorf("sched: reserve of %d slots on host %d", slots, h)
@@ -140,7 +209,7 @@ func (r *Registry) Reserve(h int, slots int, p int, sid SessionID) ([]SessionID,
 	if r.dead[h] {
 		return nil, fmt.Errorf("sched: host %d is dead", h)
 	}
-	if t.AvailableFor(p) < slots {
+	if t.AvailableForGuarded(p, guard) < slots {
 		return nil, fmt.Errorf("sched: host %d cannot fit %d slots at priority %d (bound %d, firm %d)",
 			h, slots, p, t.Bound, t.UsedAtOrAbove(p))
 	}
@@ -152,7 +221,7 @@ func (r *Registry) Reserve(h int, slots int, p int, sid SessionID) ([]SessionID,
 		// first, then by session for determinism.
 		idx := make([]int, 0, len(t.allocs))
 		for i, a := range t.allocs {
-			if a.Priority > p {
+			if a.Priority > p && (guard == nil || guard(a.Session)) {
 				idx = append(idx, i)
 			}
 		}
@@ -171,6 +240,7 @@ func (r *Registry) Reserve(h int, slots int, p int, sid SessionID) ([]SessionID,
 			drop[i] = true
 			need -= t.allocs[i].Slots
 			victims = append(victims, t.allocs[i].Session)
+			r.unhold(t.allocs[i].Session, h, t.allocs[i].Slots)
 		}
 		kept := t.allocs[:0]
 		for i, a := range t.allocs {
@@ -180,6 +250,7 @@ func (r *Registry) Reserve(h int, slots int, p int, sid SessionID) ([]SessionID,
 		}
 		t.allocs = kept
 	}
+	r.hold(sid, h, slots)
 	// Merge with an existing allocation by the same session at the
 	// same priority, if any.
 	for i := range t.allocs {
@@ -192,9 +263,10 @@ func (r *Registry) Reserve(h int, slots int, p int, sid SessionID) ([]SessionID,
 	return victims, nil
 }
 
-// Release drops all of sid's allocations on every host.
+// Release drops all of sid's allocations. The holdings index makes
+// this proportional to the hosts the session actually uses.
 func (r *Registry) Release(sid SessionID) {
-	for h := range r.tables {
+	for h := range r.holdings[sid] {
 		t := &r.tables[h]
 		kept := t.allocs[:0]
 		for _, a := range t.allocs {
@@ -204,24 +276,28 @@ func (r *Registry) Release(sid SessionID) {
 		}
 		t.allocs = kept
 	}
+	delete(r.holdings, sid)
 }
 
 // HeldBy returns the total slots sid holds across all hosts.
 func (r *Registry) HeldBy(sid SessionID) int {
 	s := 0
-	for h := range r.tables {
-		for _, a := range r.tables[h].allocs {
-			if a.Session == sid {
-				s += a.Slots
-			}
-		}
+	for _, slots := range r.holdings[sid] {
+		s += slots
 	}
 	return s
 }
 
-// CheckInvariants verifies no table is over-allocated; tests call this
-// after every scheduling wave.
+// HeldOn returns the slots sid holds on host h.
+func (r *Registry) HeldOn(sid SessionID, h int) int {
+	return r.holdings[sid][h]
+}
+
+// CheckInvariants verifies no table is over-allocated and that the
+// holdings index agrees with the tables; tests and the invariant audit
+// call this after every scheduling wave.
 func (r *Registry) CheckInvariants() error {
+	indexed := 0
 	for h := range r.tables {
 		t := &r.tables[h]
 		if t.Used() > t.Bound {
@@ -231,7 +307,21 @@ func (r *Registry) CheckInvariants() error {
 			if a.Slots <= 0 {
 				return fmt.Errorf("sched: host %d has empty allocation for session %d", h, a.Session)
 			}
+			if got := r.holdings[a.Session][h]; got < a.Slots {
+				return fmt.Errorf("sched: holdings index for session %d on host %d has %d slots, table has >= %d",
+					a.Session, h, got, a.Slots)
+			}
+			indexed += a.Slots
 		}
+	}
+	total := 0
+	for _, m := range r.holdings {
+		for _, s := range m {
+			total += s
+		}
+	}
+	if total != indexed {
+		return fmt.Errorf("sched: holdings index totals %d slots, tables hold %d", total, indexed)
 	}
 	return nil
 }

@@ -31,6 +31,11 @@ func (s *Session) memberSet() map[int]bool {
 	return m
 }
 
+// roster returns the root and members in declaration order.
+func (s *Session) roster() []int {
+	return append([]int{s.Root}, s.Members...)
+}
+
 // HelperCount returns how many non-member nodes the current plan uses.
 func (s *Session) HelperCount() int {
 	if s.Tree == nil {
@@ -80,6 +85,31 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Totals are plain cumulative counters mirroring the obs counters, so
+// harnesses can read deterministic totals without instrumenting.
+type Totals struct {
+	Plans          int
+	Replans        int
+	Preemptions    int
+	Repairs        int
+	NodeFailures   int
+	NodeRecoveries int
+}
+
+// planCtx carries control-plane policy through a planning pass. The
+// zero value is the plain market rule: any strictly-lower-priority
+// allocation is preemptable, with no notification.
+type planCtx struct {
+	// guard, when set, can veto individual market-priority preemptions
+	// (rate limiting, victim hold-down). Member-priority reservations
+	// are never guarded: the paper's guarantee that a node always
+	// serves its own session outranks any damping policy.
+	guard PreemptGuard
+	// onPreempt, when set, is called once per displaced session per
+	// host, with the priority the requester reserved at.
+	onPreempt func(victim SessionID, atPriority int)
+}
+
 // Scheduler coordinates sessions over a shared registry. It is "market
 // driven": there is no global optimization — each session greedily
 // plans for itself with whatever the degree tables say is obtainable at
@@ -87,6 +117,7 @@ func (c Config) withDefaults() Config {
 type Scheduler struct {
 	cfg Config
 	reg *Registry
+	tot Totals
 
 	// lat is the measured latency used for tree links and adjustment;
 	// cfg.ScoreLatency (if set) supplies the estimate-based vicinity
@@ -105,6 +136,7 @@ type Scheduler struct {
 	cPreemptions  *obs.Counter
 	cRepairs      *obs.Counter
 	cNodeFailures *obs.Counter
+	cRecoveries   *obs.Counter
 	gSessions     *obs.Gauge
 	gTreeHeight   *obs.Gauge
 	gTreeDegree   *obs.Gauge
@@ -128,6 +160,11 @@ func NewScheduler(bounds []int, lat alm.LatencyFunc, cfg Config) *Scheduler {
 // Registry exposes the degree tables (tests and reporting).
 func (sc *Scheduler) Registry() *Registry { return sc.reg }
 
+// Totals returns the cumulative plan/replan/preemption counters. Unlike
+// the obs handles these are always maintained, so uninstrumented
+// harnesses get deterministic totals for free.
+func (sc *Scheduler) Totals() Totals { return sc.tot }
+
 // Instrument wires the scheduler to an observability registry: plan,
 // replan, preemption and in-place-repair counters plus tree-shape
 // gauges (worst height across sessions, widest fan-out). reg may be
@@ -138,6 +175,7 @@ func (sc *Scheduler) Instrument(reg *obs.Registry) {
 	sc.cPreemptions = reg.Counter("sched.preemptions")
 	sc.cRepairs = reg.Counter("sched.repairs_inplace")
 	sc.cNodeFailures = reg.Counter("sched.node_failures")
+	sc.cRecoveries = reg.Counter("sched.node_recoveries")
 	sc.gSessions = reg.Gauge("sched.sessions")
 	sc.gTreeHeight = reg.Gauge("sched.max_tree_height_ms")
 	sc.gTreeDegree = reg.Gauge("sched.max_tree_degree")
@@ -291,11 +329,10 @@ func (sc *Scheduler) Stabilize() (plans int, err error) {
 			return batch[i].ID < batch[j].ID
 		})
 		for _, s := range batch {
-			if err := sc.planOne(s); err != nil {
+			if err := sc.planOne(s, planCtx{}); err != nil {
 				return plans, fmt.Errorf("session %d: %w", s.ID, err)
 			}
 			plans++
-			sc.cPlans.Inc()
 		}
 		sc.observeShape()
 	}
@@ -314,6 +351,12 @@ func (sc *Scheduler) Stabilize() (plans int, err error) {
 // Replans counter is incremented. The affected session IDs (including
 // removed ones) are returned in priority-then-ID order.
 func (sc *Scheduler) NodeFailed(host int) []SessionID {
+	return sc.nodeFailed(host, planCtx{})
+}
+
+// nodeFailed is NodeFailed under a planning context; the control-plane
+// service threads its preemption guard through the in-place repairs.
+func (sc *Scheduler) nodeFailed(host int, ctx planCtx) []SessionID {
 	// Failure detection fires from several independent paths (heartbeat
 	// loss, partition detection); a host already processed must be a
 	// no-op or a session whose in-place repair failed — its stale tree
@@ -322,6 +365,7 @@ func (sc *Scheduler) NodeFailed(host int) []SessionID {
 	if sc.reg.Dead(host) {
 		return nil
 	}
+	sc.tot.NodeFailures++
 	sc.cNodeFailures.Inc()
 	sc.reg.SetDead(host)
 	order := sc.Sessions()
@@ -352,17 +396,19 @@ func (sc *Scheduler) NodeFailed(host int) []SessionID {
 		}
 		affected = append(affected, s.ID)
 		s.Replans++
+		sc.tot.Replans++
 		sc.cReplans.Inc()
 		sc.reg.Release(s.ID)
 		if inTree {
 			members := s.memberSet()
 			repaired := s.Tree.Clone()
-			_, err := alm.Repair(repaired, []int{host}, sc.lat, sc.availFor(s, members))
+			_, err := alm.Repair(repaired, []int{host}, sc.lat, sc.availFor(s, members, ctx.guard))
 			if err == nil {
-				err = sc.reserveTree(s, repaired, members)
+				err = sc.reserveTree(s, repaired, members, ctx)
 			}
 			if err == nil {
 				s.Tree = repaired
+				sc.tot.Repairs++
 				sc.cRepairs.Inc()
 				continue
 			}
@@ -377,16 +423,35 @@ func (sc *Scheduler) NodeFailed(host int) []SessionID {
 	return affected
 }
 
-// NodeRecovered marks a host usable again. Sessions do not grab it
-// eagerly; they see it at their next Reschedule/Stabilize.
-func (sc *Scheduler) NodeRecovered(host int) { sc.reg.Revive(host) }
+// NodeRecovered marks a host usable again and reports whether the host
+// was actually dead. Sessions do not grab it eagerly; they see it at
+// their next Reschedule/Stabilize. Like NodeFailed, recovery detection
+// fires from several independent paths (heartbeat resumption,
+// partition heal), so a second fire for the same recovery must be a
+// counted-once no-op — the idempotency guard is what keeps the
+// recovery counters and any control-plane "capacity returned" hooks
+// from double-firing.
+func (sc *Scheduler) NodeRecovered(host int) bool {
+	if !sc.reg.Dead(host) {
+		return false
+	}
+	sc.reg.Revive(host)
+	sc.tot.NodeRecoveries++
+	sc.cRecoveries.Inc()
+	return true
+}
 
 // availFor returns the effective degree bound the market offers session
-// s at each host.
-func (sc *Scheduler) availFor(s *Session, members map[int]bool) alm.DegreeFunc {
+// s at each host. Member-priority availability is never guarded (see
+// planCtx.guard).
+func (sc *Scheduler) availFor(s *Session, members map[int]bool, guard PreemptGuard) alm.DegreeFunc {
 	return func(v int) int {
 		p := s.effPriority(v, members)
-		a := sc.reg.AvailableFor(v, p)
+		g := guard
+		if p == MemberPriority {
+			g = nil
+		}
+		a := sc.reg.AvailableForGuarded(v, p, g)
 		if a > sc.bounds[v] {
 			a = sc.bounds[v]
 		}
@@ -397,13 +462,18 @@ func (sc *Scheduler) availFor(s *Session, members map[int]bool) alm.DegreeFunc {
 // reserveTree reserves tree's slots for s, dirtying (and counting a
 // replan for) every preempted session. On error the caller owns
 // cleanup of any partial reservations.
-func (sc *Scheduler) reserveTree(s *Session, tree *alm.Tree, members map[int]bool) error {
+func (sc *Scheduler) reserveTree(s *Session, tree *alm.Tree, members map[int]bool, ctx planCtx) error {
 	for _, v := range tree.Nodes() {
 		slots := tree.Degree(v)
 		if slots == 0 {
 			continue
 		}
-		victims, err := sc.reg.Reserve(v, slots, s.effPriority(v, members), s.ID)
+		p := s.effPriority(v, members)
+		g := ctx.guard
+		if p == MemberPriority {
+			g = nil
+		}
+		victims, err := sc.reg.ReserveGuarded(v, slots, p, s.ID, g)
 		if err != nil {
 			return err
 		}
@@ -413,9 +483,14 @@ func (sc *Scheduler) reserveTree(s *Session, tree *alm.Tree, members map[int]boo
 			}
 			if victim, ok := sc.sessions[vic]; ok {
 				victim.Replans++
+				sc.tot.Replans++
+				sc.tot.Preemptions++
 				sc.cReplans.Inc()
 				sc.cPreemptions.Inc()
 				sc.dirty[vic] = true
+				if ctx.onPreempt != nil {
+					ctx.onPreempt(vic, p)
+				}
 			}
 		}
 	}
@@ -425,13 +500,13 @@ func (sc *Scheduler) reserveTree(s *Session, tree *alm.Tree, members map[int]boo
 // planOne runs one session's task manager: release current holdings,
 // read availability from the degree tables, plan Leafset+adjust with
 // helpers, and reserve the new plan (preempting lower priority).
-func (sc *Scheduler) planOne(s *Session) error {
+func (sc *Scheduler) planOne(s *Session, ctx planCtx) error {
 	sc.reg.Release(s.ID)
 	members := s.memberSet()
 
 	// Effective degree bound for this session at each host: what the
 	// market says it can obtain.
-	avail := sc.availFor(s, members)
+	avail := sc.availFor(s, members, ctx.guard)
 
 	// Candidate helpers: everyone outside the session with enough
 	// obtainable fan-out.
@@ -464,9 +539,11 @@ func (sc *Scheduler) planOne(s *Session) error {
 	alm.Adjust(tree, sc.lat, avail)
 
 	// Reserve the plan's slots; preempted sessions must replan.
-	if err := sc.reserveTree(s, tree, members); err != nil {
+	if err := sc.reserveTree(s, tree, members, ctx); err != nil {
 		return err
 	}
 	s.Tree = tree
+	sc.tot.Plans++
+	sc.cPlans.Inc()
 	return nil
 }

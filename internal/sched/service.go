@@ -1,0 +1,675 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"p2ppool/internal/alm"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/obs"
+)
+
+// NumClasses is the number of market priority classes (1 highest .. 3
+// lowest).
+const NumClasses = 3
+
+// Decision is the admission-control verdict for a submitted session.
+type Decision int
+
+const (
+	// Enqueued: the session entered its class's admission queue and
+	// will be planned at an upcoming Tick (defer, not grant — the SLO
+	// clock starts at Submit).
+	Enqueued Decision = iota
+	// Rejected: the class's admission queue is full; the session was
+	// turned away without consuming planner capacity.
+	Rejected
+)
+
+func (d Decision) String() string {
+	if d == Enqueued {
+		return "enqueued"
+	}
+	return "rejected"
+}
+
+// ClassConfig is one priority class's admission policy.
+type ClassConfig struct {
+	// AdmitDeadline is the class's admission SLO: a session first
+	// planned within this long of Submit counts as compliant. Entries
+	// still queued past the deadline are shed — serving them late
+	// would burn planner capacity on already-blown SLOs.
+	AdmitDeadline eventsim.Time
+	// QueueCap bounds the class's admission queue; Submit rejects
+	// beyond it.
+	QueueCap int
+}
+
+// ServiceConfig tunes the control plane around a Scheduler.
+type ServiceConfig struct {
+	// Sched configures the wrapped scheduler.
+	Sched Config
+	// Classes holds per-priority admission policy, indexed by market
+	// priority 1..NumClasses (index 0 unused).
+	Classes [NumClasses + 1]ClassConfig
+	// AdmitPerTick bounds how many queued sessions enter planning per
+	// Tick (default 64).
+	AdmitPerTick int
+
+	// RetryBudget is how many failed plan attempts a session gets
+	// before the service degrades (shedding a lower-priority session
+	// to make room, or shedding the session itself). Default 3.
+	RetryBudget int
+	// BackoffBase/BackoffMax bound the seeded exponential backoff
+	// between plan retries (defaults 500ms / 8s). Both are compressed
+	// per class in proportion to its AdmitDeadline (relative to the
+	// lowest class's), so a high class spends its retry budget — and
+	// reaches the shed-to-make-room step — while its tighter SLO clock
+	// still has room; a uniform schedule would blow the top class's
+	// deadline on backoff alone.
+	BackoffBase eventsim.Time
+	BackoffMax  eventsim.Time
+	// BackoffJitter is the relative jitter on each backoff, drawn from
+	// the service's own seeded stream (default 0.2, i.e. ±20%).
+	BackoffJitter float64
+
+	// PreemptRate refills the market-preemption token bucket, in
+	// preemptions per virtual second (default 8; negative disables the
+	// rate limit). Member-priority preemptions are never limited — the
+	// paper's members-only guarantee outranks damping.
+	PreemptRate float64
+	// PreemptBurst is the bucket capacity (default 32).
+	PreemptBurst float64
+	// HoldDown protects a preemption victim from further market
+	// preemption for this long (hysteresis; default 2s, negative
+	// disables).
+	HoldDown eventsim.Time
+	// MaxShedPerTick bounds overload shedding per Tick (default 64).
+	MaxShedPerTick int
+
+	// Seed drives the backoff jitter stream (independent of every
+	// protocol stream).
+	Seed int64
+}
+
+func (c ServiceConfig) withDefaults() ServiceConfig {
+	for p := 1; p <= NumClasses; p++ {
+		if c.Classes[p].AdmitDeadline <= 0 {
+			// Looser SLOs down the priority ladder: 2s / 4s / 8s.
+			c.Classes[p].AdmitDeadline = eventsim.Time(uint(1)<<uint(p)) * eventsim.Second
+		}
+		if c.Classes[p].QueueCap <= 0 {
+			c.Classes[p].QueueCap = 256
+		}
+	}
+	if c.AdmitPerTick <= 0 {
+		c.AdmitPerTick = 64
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 500 * eventsim.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 8 * eventsim.Second
+	}
+	if c.BackoffJitter == 0 {
+		c.BackoffJitter = 0.2
+	}
+	if c.PreemptRate == 0 {
+		c.PreemptRate = 8
+	}
+	if c.PreemptBurst <= 0 {
+		c.PreemptBurst = 32
+	}
+	if c.HoldDown == 0 {
+		c.HoldDown = 2 * eventsim.Second
+	}
+	if c.MaxShedPerTick <= 0 {
+		c.MaxShedPerTick = 64
+	}
+	return c
+}
+
+// ClassStats is per-priority-class admission accounting.
+type ClassStats struct {
+	// Submitted counts Submit calls for this class.
+	Submitted int
+	// Rejected counts queue-full rejections at Submit.
+	Rejected int
+	// Admitted counts sessions planned at least once.
+	Admitted int
+	// AdmittedInSLO counts sessions first planned within the class's
+	// AdmitDeadline of Submit. Compliance = AdmittedInSLO / Submitted;
+	// rejects and sheds are SLO misses, reported honestly.
+	AdmittedInSLO int
+	// ShedDeadline counts queue entries shed past the admit deadline.
+	ShedDeadline int
+	// ShedOverload counts live sessions of this class shed to make
+	// room for a higher-priority session that exhausted its retry
+	// budget on a roster this session held slots on.
+	ShedOverload int
+	// ShedBudget counts sessions shed after exhausting their own retry
+	// budget with no lower-priority session left to displace.
+	ShedBudget int
+	// RootDied counts sessions (queued or live) ended because their
+	// root host failed.
+	RootDied int
+}
+
+// SLOCompliance is AdmittedInSLO over Submitted (1 when nothing was
+// submitted).
+func (c ClassStats) SLOCompliance() float64 {
+	if c.Submitted == 0 {
+		return 1
+	}
+	return float64(c.AdmittedInSLO) / float64(c.Submitted)
+}
+
+// ServiceStats is the control plane's cumulative accounting.
+type ServiceStats struct {
+	// Plans / PlanFailures count planSession outcomes (a session may
+	// contribute several of each across retries).
+	Plans        int
+	PlanFailures int
+	// PreemptDeferred counts failed plans where the preemption guard
+	// (token bucket or hold-down) vetoed at least one displacement —
+	// damping deferred the session rather than let it storm.
+	PreemptDeferred int
+	// PeakLive is the high-water mark of concurrently planned
+	// sessions.
+	PeakLive int
+	// Class is per-priority accounting, indexed by priority 1..3.
+	Class [NumClasses + 1]ClassStats
+}
+
+// admitEntry is one queued admission request.
+type admitEntry struct {
+	s   *Session
+	at  eventsim.Time // Submit time; the SLO clock
+	seq int           // arrival order within equal priority
+}
+
+// retryState tracks a session's failed-plan history.
+type retryState struct {
+	attempts int // budget-consuming failures
+	defers   int // damping-caused deferrals (do not consume budget)
+	nextTry  eventsim.Time
+}
+
+// Service is the production control plane around a Scheduler: bounded
+// per-class admission queues, deadline shedding, retry budgets with
+// seeded exponential backoff, a token bucket + hold-down damping
+// preemption storms, and shed-lowest-priority-first degradation under
+// overload. Drive it from the event loop: Submit on arrival, Tick
+// periodically, NodeFailed/NodeRecovered from failure detection.
+type Service struct {
+	sc  *Scheduler
+	cfg ServiceConfig
+	rng *rand.Rand
+
+	queue    []admitEntry
+	classLen [NumClasses + 1]int
+	seq      int
+	known    map[SessionID]bool // queued or live: duplicate guard
+
+	retry     map[SessionID]*retryState
+	protected map[SessionID]eventsim.Time // hold-down expiry per victim
+	submitAt  map[SessionID]eventsim.Time // pending first-plan SLO clocks
+
+	tokens     float64
+	lastRefill eventsim.Time
+
+	stats    ServiceStats
+	admitLat []float64 // virtual ms from Submit to first plan, append-only
+
+	// Observability handles (nil-safe; zero observer effect).
+	gQueue    *obs.Gauge
+	hAdmit    *obs.Histogram
+	cAdmitted *obs.Counter
+	cRejected *obs.Counter
+	cShed     *obs.Counter
+	cDeferred *obs.Counter
+}
+
+// NewService builds a control plane over a fresh Scheduler for hosts
+// with the given degree bounds.
+func NewService(bounds []int, lat alm.LatencyFunc, cfg ServiceConfig) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		sc:        NewScheduler(bounds, lat, cfg.Sched),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		known:     make(map[SessionID]bool),
+		retry:     make(map[SessionID]*retryState),
+		protected: make(map[SessionID]eventsim.Time),
+		submitAt:  make(map[SessionID]eventsim.Time),
+		tokens:    cfg.PreemptBurst,
+	}
+}
+
+// Scheduler exposes the wrapped scheduler (invariant audits read its
+// sessions, registry and dirty set).
+func (sv *Service) Scheduler() *Scheduler { return sv.sc }
+
+// Stats returns a copy of the cumulative accounting.
+func (sv *Service) Stats() ServiceStats { return sv.stats }
+
+// AdmitLatencies returns the recorded Submit-to-first-plan latencies in
+// virtual ms, in admission order (percentile reporting).
+func (sv *Service) AdmitLatencies() []float64 {
+	return append([]float64(nil), sv.admitLat...)
+}
+
+// QueueDepth returns the current admission-queue length.
+func (sv *Service) QueueDepth() int { return len(sv.queue) }
+
+// LiveSessions returns the number of sessions currently in planning.
+func (sv *Service) LiveSessions() int { return len(sv.sc.sessions) }
+
+// Instrument wires the service (and its scheduler) to an observability
+// registry: queue-depth gauge, admission-latency histogram, counters
+// for admitted/rejected/shed/deferred. reg may be nil; instrumentation
+// never alters control decisions.
+func (sv *Service) Instrument(reg *obs.Registry) {
+	sv.sc.Instrument(reg)
+	sv.gQueue = reg.Gauge("sched.admission_queue_depth")
+	sv.hAdmit = reg.Histogram("sched.admission_latency_ms", obs.DefaultLatencyBounds)
+	sv.cAdmitted = reg.Counter("sched.admitted")
+	sv.cRejected = reg.Counter("sched.rejected")
+	sv.cShed = reg.Counter("sched.shed")
+	sv.cDeferred = reg.Counter("sched.preempt_deferred")
+}
+
+// Submit offers a session for admission at virtual time now. It never
+// plans inline: the verdict is an explicit Enqueued (planned at an
+// upcoming Tick; the SLO clock starts now) or Rejected (class queue
+// full). An error means the submission itself was malformed.
+func (sv *Service) Submit(now eventsim.Time, s *Session) (Decision, error) {
+	if s.Priority < 1 || s.Priority > NumClasses {
+		return Rejected, fmt.Errorf("sched: session %d priority %d outside 1..%d", s.ID, s.Priority, NumClasses)
+	}
+	if sv.known[s.ID] {
+		return Rejected, fmt.Errorf("sched: duplicate session %d", s.ID)
+	}
+	sv.stats.Class[s.Priority].Submitted++
+	if sv.classLen[s.Priority] >= sv.cfg.Classes[s.Priority].QueueCap {
+		sv.stats.Class[s.Priority].Rejected++
+		sv.cRejected.Inc()
+		return Rejected, nil
+	}
+	sv.queue = append(sv.queue, admitEntry{s: s, at: now, seq: sv.seq})
+	sv.seq++
+	sv.classLen[s.Priority]++
+	sv.known[s.ID] = true
+	sv.submitAt[s.ID] = now
+	return Enqueued, nil
+}
+
+// EndSession retires a session (natural departure): live reservations
+// are released; a still-queued session is silently withdrawn (its SLO
+// outcome stays a miss — it was submitted and never admitted).
+func (sv *Service) EndSession(id SessionID) {
+	if _, live := sv.sc.sessions[id]; live {
+		sv.sc.RemoveSession(id)
+	} else {
+		for i, e := range sv.queue {
+			if e.s.ID == id {
+				sv.queue = append(sv.queue[:i], sv.queue[i+1:]...)
+				sv.classLen[e.s.Priority]--
+				break
+			}
+		}
+	}
+	sv.forget(id)
+}
+
+// forget drops all control-plane state for a session.
+func (sv *Service) forget(id SessionID) {
+	delete(sv.known, id)
+	delete(sv.retry, id)
+	delete(sv.protected, id)
+	delete(sv.submitAt, id)
+}
+
+// NodeFailed routes failure detection through the scheduler (in-place
+// repair, root-dead removal) and cleans up control-plane state for
+// sessions the failure ended. Queued sessions lose the dead host from
+// their rosters; queued sessions rooted there are dropped. Idempotent,
+// like Scheduler.NodeFailed.
+func (sv *Service) NodeFailed(now eventsim.Time, host int) []SessionID {
+	if sv.sc.reg.Dead(host) {
+		return nil
+	}
+	type ended struct {
+		id  SessionID
+		pri int
+	}
+	var rootDead []ended
+	for id, s := range sv.sc.sessions {
+		if s.Root == host {
+			rootDead = append(rootDead, ended{id, s.Priority})
+		}
+	}
+	affected := sv.sc.nodeFailed(host, sv.planContext(now))
+	for _, e := range rootDead {
+		sv.forget(e.id)
+		sv.stats.Class[e.pri].RootDied++
+	}
+	kept := sv.queue[:0]
+	for _, e := range sv.queue {
+		if e.s.Root == host {
+			sv.classLen[e.s.Priority]--
+			sv.stats.Class[e.s.Priority].RootDied++
+			sv.forget(e.s.ID)
+			continue
+		}
+		for i, m := range e.s.Members {
+			if m == host {
+				e.s.Members = append(e.s.Members[:i], e.s.Members[i+1:]...)
+				break
+			}
+		}
+		kept = append(kept, e)
+	}
+	sv.queue = kept
+	return affected
+}
+
+// NodeRecovered routes recovery detection through the scheduler and, on
+// a genuine (first) recovery, clears pending retry backoffs so sessions
+// waiting on capacity see the returned host promptly. Double fires
+// return false and change nothing.
+func (sv *Service) NodeRecovered(now eventsim.Time, host int) bool {
+	if !sv.sc.NodeRecovered(host) {
+		return false
+	}
+	for _, rs := range sv.retry {
+		if rs.nextTry > now {
+			rs.nextTry = now
+		}
+	}
+	return true
+}
+
+// AddMember grows a live session (flash-crowd joins); the session
+// replans at the next Tick.
+func (sv *Service) AddMember(id SessionID, host int) error {
+	return sv.sc.AddMember(id, host)
+}
+
+// refill tops up the preemption token bucket for elapsed virtual time.
+func (sv *Service) refill(now eventsim.Time) {
+	if sv.cfg.PreemptRate > 0 && now > sv.lastRefill {
+		sv.tokens += float64(now-sv.lastRefill) / float64(eventsim.Second) * sv.cfg.PreemptRate
+		if sv.tokens > sv.cfg.PreemptBurst {
+			sv.tokens = sv.cfg.PreemptBurst
+		}
+	}
+	sv.lastRefill = now
+}
+
+// guardState threads per-plan damping verdicts out of the guard.
+type guardState struct {
+	denied bool
+}
+
+// planContext builds the planning context for time now: the guard
+// vetoes market preemption of held-down victims and rate-limits the
+// rest through the token bucket; the hook charges tokens and arms the
+// victim's hold-down.
+func (sv *Service) planContext(now eventsim.Time) planCtx {
+	return sv.planContextState(now, &guardState{})
+}
+
+func (sv *Service) planContextState(now eventsim.Time, gs *guardState) planCtx {
+	return planCtx{
+		guard: func(victim SessionID) bool {
+			if sv.cfg.HoldDown > 0 {
+				if until, ok := sv.protected[victim]; ok && until > now {
+					gs.denied = true
+					return false
+				}
+			}
+			if sv.cfg.PreemptRate > 0 && sv.tokens < 1 {
+				gs.denied = true
+				return false
+			}
+			return true
+		},
+		onPreempt: func(victim SessionID, atPriority int) {
+			if atPriority != MemberPriority && sv.cfg.PreemptRate > 0 {
+				sv.tokens--
+			}
+			if sv.cfg.HoldDown > 0 {
+				sv.protected[victim] = now + sv.cfg.HoldDown
+			}
+		},
+	}
+}
+
+// backoff draws the jittered exponential delay for a priority-pri
+// session's given number of budget-consuming failures (1 => base). The
+// schedule is compressed in proportion to the class's admit deadline so
+// every class's full retry budget fits inside its own SLO window.
+func (sv *Service) backoff(pri, attempts int) eventsim.Time {
+	d := sv.cfg.BackoffBase
+	max := sv.cfg.BackoffMax
+	if low := sv.cfg.Classes[NumClasses].AdmitDeadline; low > 0 {
+		scale := float64(sv.cfg.Classes[pri].AdmitDeadline) / float64(low)
+		if scale > 0 && scale < 1 {
+			d = eventsim.Time(float64(d) * scale)
+			max = eventsim.Time(float64(max) * scale)
+		}
+	}
+	for i := 1; i < attempts; i++ {
+		d *= 2
+		if d >= max {
+			d = max
+			break
+		}
+	}
+	if j := sv.cfg.BackoffJitter; j > 0 {
+		d = eventsim.Time(float64(d) * (1 + j*(2*sv.rng.Float64()-1)))
+	}
+	if d < eventsim.Millisecond {
+		d = eventsim.Millisecond
+	}
+	return d
+}
+
+// lowestPriorityVictim picks the live session to shed so the starving
+// session s can plan: strictly lower priority only, and only among
+// sessions actually holding slots on s's roster hosts — when s keeps
+// failing it is those hosts that are contended, and shedding a
+// bystander frees nothing s can use (it just bleeds low-priority
+// sessions without unsticking anyone). Lowest rank first, youngest
+// (largest ID) first; nil when no roster holder outranks, in which
+// case honest self-shed beats collateral damage.
+func (sv *Service) lowestPriorityVictim(s *Session) *Session {
+	var vic *Session
+	for _, h := range s.roster() {
+		for _, a := range sv.sc.reg.Table(h).Allocations() {
+			c, ok := sv.sc.sessions[a.Session]
+			if !ok || c.ID == s.ID || c.Priority <= s.Priority {
+				continue
+			}
+			if vic == nil || c.Priority > vic.Priority ||
+				(c.Priority == vic.Priority && c.ID > vic.ID) {
+				vic = c
+			}
+		}
+	}
+	return vic
+}
+
+// shed removes a live session and records why.
+func (sv *Service) shed(s *Session, record *int) {
+	sv.sc.RemoveSession(s.ID)
+	sv.forget(s.ID)
+	*record++
+	sv.cShed.Inc()
+}
+
+// planSession runs one guarded planning attempt and applies the retry /
+// degradation policy to the outcome. shedBudget caps overload sheds
+// across the enclosing Tick.
+func (sv *Service) planSession(now eventsim.Time, s *Session, shedBudget *int) {
+	gs := &guardState{}
+	err := sv.sc.planOne(s, sv.planContextState(now, gs))
+	if err == nil {
+		sv.stats.Plans++
+		delete(sv.retry, s.ID)
+		if at, ok := sv.submitAt[s.ID]; ok {
+			delete(sv.submitAt, s.ID)
+			lat := float64(now - at)
+			sv.admitLat = append(sv.admitLat, lat)
+			cs := &sv.stats.Class[s.Priority]
+			cs.Admitted++
+			if now-at <= sv.cfg.Classes[s.Priority].AdmitDeadline {
+				cs.AdmittedInSLO++
+			}
+			sv.cAdmitted.Inc()
+			sv.hAdmit.Observe(lat)
+		}
+		return
+	}
+	// Failed plans may leave partial reservations; drop them so the
+	// ledger stays clean while the session waits out its backoff.
+	sv.sc.reg.Release(s.ID)
+	sv.stats.PlanFailures++
+	rs := sv.retry[s.ID]
+	if rs == nil {
+		rs = &retryState{}
+		sv.retry[s.ID] = rs
+	}
+	exhausted := false
+	if gs.denied {
+		// Damping deferred this session rather than let it preempt —
+		// that is the control plane's doing, so it does not consume
+		// the session's budget. A cap keeps pathological deferral from
+		// becoming a silent livelock.
+		sv.stats.PreemptDeferred++
+		sv.cDeferred.Inc()
+		rs.defers++
+		exhausted = rs.defers > 4*sv.cfg.RetryBudget
+		if !exhausted {
+			rs.nextTry = now + sv.backoff(s.Priority, 1)
+			sv.sc.dirty[s.ID] = true
+			return
+		}
+	} else {
+		rs.attempts++
+		exhausted = rs.attempts >= sv.cfg.RetryBudget
+	}
+	if !exhausted {
+		rs.nextTry = now + sv.backoff(s.Priority, rs.attempts)
+		sv.sc.dirty[s.ID] = true
+		return
+	}
+	// Graceful degradation: make room by shedding the lowest-priority
+	// session holding slots on the starving session's roster and fund
+	// one more attempt next tick. When no roster holder outranks (or
+	// the tick's shed budget is spent), shed the starving session
+	// itself — honest rejection beats thrashing.
+	if vic := sv.lowestPriorityVictim(s); vic != nil && *shedBudget > 0 {
+		*shedBudget--
+		sv.shed(vic, &sv.stats.Class[vic.Priority].ShedOverload)
+		rs.attempts = sv.cfg.RetryBudget - 1
+		rs.defers = 0
+		rs.nextTry = now + eventsim.Millisecond
+		sv.sc.dirty[s.ID] = true
+		return
+	}
+	sv.shed(s, &sv.stats.Class[s.Priority].ShedBudget)
+}
+
+// Tick advances the control plane at virtual time now: refill the
+// damper, shed queue entries past their admit deadline, admit up to
+// AdmitPerTick queued sessions in priority order, then sweep dirty
+// sessions whose backoff has elapsed (priority order, bounded rounds).
+// Call it on a fixed period from the event loop.
+func (sv *Service) Tick(now eventsim.Time) error {
+	sv.refill(now)
+	for id, until := range sv.protected {
+		if until <= now {
+			delete(sv.protected, id)
+		}
+	}
+
+	// 1. Deadline shedding from the queue.
+	kept := sv.queue[:0]
+	for _, e := range sv.queue {
+		if now-e.at > sv.cfg.Classes[e.s.Priority].AdmitDeadline {
+			sv.classLen[e.s.Priority]--
+			sv.stats.Class[e.s.Priority].ShedDeadline++
+			sv.cShed.Inc()
+			sv.forget(e.s.ID)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	sv.queue = kept
+
+	// 2. Admission: highest class first, arrival order within a class.
+	sort.SliceStable(sv.queue, func(i, j int) bool {
+		if sv.queue[i].s.Priority != sv.queue[j].s.Priority {
+			return sv.queue[i].s.Priority < sv.queue[j].s.Priority
+		}
+		return sv.queue[i].seq < sv.queue[j].seq
+	})
+	n := sv.cfg.AdmitPerTick
+	if n > len(sv.queue) {
+		n = len(sv.queue)
+	}
+	for _, e := range sv.queue[:n] {
+		sv.classLen[e.s.Priority]--
+		if err := sv.sc.AddSession(e.s); err != nil {
+			return err
+		}
+	}
+	sv.queue = append(sv.queue[:0], sv.queue[n:]...)
+
+	// 3. Replanning sweep: dirty sessions whose backoff has elapsed,
+	// highest priority first, until quiet or MaxRounds.
+	shedBudget := sv.cfg.MaxShedPerTick
+	for round := 0; round < sv.sc.cfg.MaxRounds; round++ {
+		var batch []*Session
+		for _, id := range sv.sc.DirtySessions() {
+			s, ok := sv.sc.sessions[id]
+			if !ok {
+				delete(sv.sc.dirty, id)
+				continue
+			}
+			if rs := sv.retry[id]; rs != nil && rs.nextTry > now {
+				continue // backing off; stays dirty for a later tick
+			}
+			batch = append(batch, s)
+		}
+		if len(batch) == 0 {
+			break
+		}
+		sort.Slice(batch, func(i, j int) bool {
+			if batch[i].Priority != batch[j].Priority {
+				return batch[i].Priority < batch[j].Priority
+			}
+			return batch[i].ID < batch[j].ID
+		})
+		for _, s := range batch {
+			if _, live := sv.sc.sessions[s.ID]; !live {
+				continue // shed earlier in this very batch
+			}
+			delete(sv.sc.dirty, s.ID)
+			sv.planSession(now, s, &shedBudget)
+		}
+	}
+
+	if live := len(sv.sc.sessions); live > sv.stats.PeakLive {
+		sv.stats.PeakLive = live
+	}
+	sv.gQueue.Set(float64(len(sv.queue)))
+	sv.sc.observeShape()
+	return nil
+}

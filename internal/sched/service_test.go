@@ -1,0 +1,389 @@
+package sched
+
+import (
+	"testing"
+
+	"p2ppool/internal/eventsim"
+)
+
+// lineLat is the |a-b| latency used by the hand-built control-plane
+// scenarios: chain order under Leafset is then just numeric distance
+// from the root, which makes the planned shapes predictable.
+func lineLat(a, b int) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return float64(d)
+}
+
+// undamped disables the preemption damper and makes backoff a flat,
+// jitter-free 1ms so tests can step virtual time tick by tick.
+func undamped() ServiceConfig {
+	return ServiceConfig{
+		PreemptRate:   -1,
+		HoldDown:      -1,
+		BackoffBase:   eventsim.Millisecond,
+		BackoffMax:    2 * eventsim.Millisecond,
+		BackoffJitter: -1,
+	}
+}
+
+func TestServiceSubmitBounds(t *testing.T) {
+	cfg := undamped()
+	cfg.Classes[3].QueueCap = 2
+	sv := NewService([]int{4, 4, 4, 4}, lineLat, cfg)
+
+	if _, err := sv.Submit(0, &Session{ID: 1, Priority: 0, Root: 0}); err == nil {
+		t.Fatal("priority 0 must be a malformed submission")
+	}
+	if _, err := sv.Submit(0, &Session{ID: 1, Priority: 4, Root: 0}); err == nil {
+		t.Fatal("priority 4 must be a malformed submission")
+	}
+
+	for id := SessionID(1); id <= 2; id++ {
+		d, err := sv.Submit(0, &Session{ID: id, Priority: 3, Root: 0, Members: []int{1}})
+		if err != nil || d != Enqueued {
+			t.Fatalf("submit %d: decision %v, err %v", id, d, err)
+		}
+	}
+	if _, err := sv.Submit(0, &Session{ID: 1, Priority: 3, Root: 0}); err == nil {
+		t.Fatal("duplicate ID must error")
+	}
+	d, err := sv.Submit(0, &Session{ID: 3, Priority: 3, Root: 0, Members: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != Rejected {
+		t.Fatalf("over-cap submit decided %v, want rejected", d)
+	}
+	st := sv.Stats().Class[3]
+	if st.Submitted != 3 || st.Rejected != 1 {
+		t.Fatalf("class stats = %+v, want Submitted 3 Rejected 1", st)
+	}
+	// A rejected session was never registered: the ID is free to retry.
+	if d, err := sv.Submit(0, &Session{ID: 3, Priority: 2, Root: 0, Members: []int{1}}); err != nil || d != Enqueued {
+		t.Fatalf("resubmit after reject: decision %v, err %v", d, err)
+	}
+}
+
+func TestServiceDeadlineShed(t *testing.T) {
+	cfg := undamped()
+	cfg.AdmitPerTick = 1
+	cfg.Classes[3].AdmitDeadline = eventsim.Second
+	sv := NewService([]int{2, 2, 2, 2}, lineLat, cfg)
+
+	s1 := &Session{ID: 1, Priority: 3, Root: 0, Members: []int{1}}
+	s2 := &Session{ID: 2, Priority: 3, Root: 2, Members: []int{3}}
+	for _, s := range []*Session{s1, s2} {
+		if _, err := sv.Submit(0, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sv.Tick(eventsim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if sv.LiveSessions() != 1 || sv.QueueDepth() != 1 {
+		t.Fatalf("after first tick: %d live, %d queued; want 1, 1", sv.LiveSessions(), sv.QueueDepth())
+	}
+	// The second session is still queued when its 1s deadline blows.
+	if err := sv.Tick(2 * eventsim.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := sv.Stats().Class[3]
+	if st.ShedDeadline != 1 || sv.QueueDepth() != 0 {
+		t.Fatalf("deadline shed: %+v, queue %d; want ShedDeadline 1, empty queue", st, sv.QueueDepth())
+	}
+	if st.Admitted != 1 || st.AdmittedInSLO != 1 {
+		t.Fatalf("admission stats = %+v, want exactly one compliant admit", st)
+	}
+	if got := st.SLOCompliance(); got != 0.5 {
+		t.Fatalf("SLO compliance = %v, want 0.5 (one admitted in time, one shed)", got)
+	}
+	if s1.Tree == nil {
+		t.Fatal("admitted session has no plan")
+	}
+}
+
+// TestServiceRetryBudgetShedsSelf starves a session that can never plan
+// (its root host has no degree at all) and checks it burns its retry
+// budget and is then shed honestly — ShedBudget, not an error or a
+// livelock — leaving no control-plane residue.
+func TestServiceRetryBudgetShedsSelf(t *testing.T) {
+	cfg := undamped()
+	cfg.RetryBudget = 2
+	sv := NewService([]int{0, 0}, lineLat, cfg)
+
+	s := &Session{ID: 7, Priority: 3, Root: 0, Members: []int{1}}
+	if _, err := sv.Submit(0, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Tick(eventsim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if sv.LiveSessions() != 1 {
+		t.Fatal("session should be live (admitted, plan pending retry)")
+	}
+	if err := sv.Tick(5 * eventsim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st := sv.Stats()
+	if st.Class[3].ShedBudget != 1 {
+		t.Fatalf("ShedBudget = %d, want 1 (stats %+v)", st.Class[3].ShedBudget, st.Class[3])
+	}
+	if st.PlanFailures != 2 || st.Plans != 0 {
+		t.Fatalf("Plans/PlanFailures = %d/%d, want 0/2", st.Plans, st.PlanFailures)
+	}
+	if sv.LiveSessions() != 0 || sv.QueueDepth() != 0 {
+		t.Fatalf("shed session left residue: %d live, %d queued", sv.LiveSessions(), sv.QueueDepth())
+	}
+	if got := sv.sc.reg.HeldBy(s.ID); got != 0 {
+		t.Fatalf("shed session still holds %d slots", got)
+	}
+	// All state forgotten: the ID may be submitted again.
+	if d, err := sv.Submit(6*eventsim.Millisecond, &Session{ID: 7, Priority: 3, Root: 0, Members: []int{1}}); err != nil || d != Enqueued {
+		t.Fatalf("resubmit after shed: decision %v, err %v", d, err)
+	}
+}
+
+// TestServiceShedsLowestPriorityFirst pins graceful degradation: when a
+// high-priority session exhausts its retry budget, the service makes
+// room by shedding the lowest-priority live session — not a mid-tier
+// one, and not the starving session itself.
+//
+// Topology (lineLat, bounds below; a degree bound counts the parent
+// link too): host 0 roots the P3 session, host 1 the P2 one. Session B
+// (P1, root 2, members {0, 6}) needs both of host 0's slots for its
+// relay chain 2 -> 0 -> 6 (parent link + one child), but the P3
+// session's root reservation holds one of them at member priority,
+// which B's own member priority cannot preempt. Only shedding the P3
+// session frees the chain.
+func TestServiceShedsLowestPriorityFirst(t *testing.T) {
+	cfg := undamped()
+	cfg.RetryBudget = 2
+	bounds := []int{2, 1, 1, 0, 1, 1, 1}
+	sv := NewService(bounds, lineLat, cfg)
+
+	a1 := &Session{ID: 1, Priority: 3, Root: 0, Members: []int{4}}
+	a2 := &Session{ID: 2, Priority: 2, Root: 1, Members: []int{5}}
+	for _, s := range []*Session{a1, a2} {
+		if _, err := sv.Submit(0, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sv.Tick(eventsim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if a1.Tree == nil || a2.Tree == nil {
+		t.Fatal("background sessions failed to plan")
+	}
+
+	b := &Session{ID: 3, Priority: 1, Root: 2, Members: []int{0, 6}}
+	if _, err := sv.Submit(eventsim.Millisecond, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, now := range []eventsim.Time{2, 4, 6} {
+		if err := sv.Tick(now * eventsim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := sv.Stats()
+	if st.Class[3].ShedOverload != 1 {
+		t.Fatalf("P3 ShedOverload = %d, want 1 (stats %+v)", st.Class[3].ShedOverload, st)
+	}
+	if st.Class[2].ShedOverload != 0 {
+		t.Fatal("mid-priority session was shed; lowest class must go first")
+	}
+	if _, live := sv.sc.sessions[a1.ID]; live {
+		t.Fatal("P3 session still live after overload shed")
+	}
+	if _, live := sv.sc.sessions[a2.ID]; !live {
+		t.Fatal("P2 session was lost")
+	}
+	if b.Tree == nil || !b.Tree.Contains(0) || !b.Tree.Contains(6) {
+		t.Fatalf("P1 session not planned after shed (tree %v)", b.Tree)
+	}
+	if st.Class[1].Admitted != 1 || st.Class[1].AdmittedInSLO != 1 {
+		t.Fatalf("P1 admission stats = %+v, want compliant admit", st.Class[1])
+	}
+	if err := sv.sc.reg.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceDampingGuard unit-tests the token bucket and hold-down
+// through the planContext the service hands the scheduler.
+func TestServiceDampingGuard(t *testing.T) {
+	cfg := ServiceConfig{
+		PreemptRate:   2, // tokens per virtual second
+		PreemptBurst:  2,
+		HoldDown:      eventsim.Second,
+		BackoffJitter: -1,
+	}
+	sv := NewService([]int{4, 4}, lineLat, cfg)
+
+	gs := &guardState{}
+	ctx := sv.planContextState(0, gs)
+	if !ctx.guard(7) {
+		t.Fatal("full bucket must allow preemption")
+	}
+	ctx.onPreempt(7, 3) // market-priority preemption: charges a token, arms hold-down
+	if sv.tokens != 1 {
+		t.Fatalf("tokens = %v after one market preemption, want 1", sv.tokens)
+	}
+	if ctx.guard(7) || !gs.denied {
+		t.Fatal("held-down victim must be vetoed and the denial recorded")
+	}
+	ctx.onPreempt(8, MemberPriority) // member-priority: never charged
+	if sv.tokens != 1 {
+		t.Fatalf("member-priority preemption charged the bucket: tokens = %v", sv.tokens)
+	}
+	ctx.onPreempt(9, 2)
+	if sv.tokens != 0 {
+		t.Fatalf("tokens = %v, want 0", sv.tokens)
+	}
+	gs2 := &guardState{}
+	if sv.planContextState(0, gs2).guard(10) || !gs2.denied {
+		t.Fatal("empty bucket must veto fresh victims")
+	}
+
+	// Refill at 2/s: after 500ms there is one token again, but the
+	// hold-down on victim 7 is still armed.
+	sv.refill(500 * eventsim.Millisecond)
+	gs3 := &guardState{}
+	ctx3 := sv.planContextState(500*eventsim.Millisecond, gs3)
+	if !ctx3.guard(10) {
+		t.Fatal("refilled bucket must allow a fresh victim")
+	}
+	if ctx3.guard(7) {
+		t.Fatal("hold-down must outlast the refill")
+	}
+	// Past the hold-down horizon the victim is fair game again.
+	gs4 := &guardState{}
+	if !sv.planContextState(1500*eventsim.Millisecond, gs4).guard(7) {
+		t.Fatal("expired hold-down still vetoing")
+	}
+	// The bucket never overfills past its burst.
+	sv.refill(100 * eventsim.Second)
+	if sv.tokens != cfg.PreemptBurst {
+		t.Fatalf("tokens = %v, want capped at burst %v", sv.tokens, cfg.PreemptBurst)
+	}
+}
+
+// TestServiceDampingDefersPreemption runs the damper end to end: a P2
+// session that needs the pool's only helper (held by a P3 session) is
+// deferred while the token bucket is empty — counted as
+// PreemptDeferred, not charged against its retry budget — then admitted
+// once the bucket refills, arming the victim's hold-down.
+func TestServiceDampingDefersPreemption(t *testing.T) {
+	bounds := make([]int, 24)
+	for _, m := range []int{11, 12, 13, 21, 22, 23} {
+		bounds[m] = 1 // leaf members: parent link only, no relay capacity
+	}
+	bounds[10] = 1 // root of the P3 session
+	bounds[20] = 1 // root of the P2 session
+	bounds[5] = 4  // the pool's only helper capacity (parent + 3 children)
+	cfg := ServiceConfig{
+		PreemptRate:   1,
+		PreemptBurst:  2,
+		HoldDown:      5 * eventsim.Second,
+		RetryBudget:   5,
+		BackoffBase:   eventsim.Millisecond,
+		BackoffMax:    2 * eventsim.Millisecond,
+		BackoffJitter: -1,
+	}
+	sv := NewService(bounds, lineLat, cfg)
+
+	// A's members have zero degree, so its relay chain must run through
+	// helper host 5.
+	a := &Session{ID: 1, Priority: 3, Root: 10, Members: []int{11, 12, 13}}
+	if _, err := sv.Submit(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Tick(eventsim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if a.Tree == nil || !a.Tree.Contains(5) {
+		t.Fatalf("P3 session did not recruit the helper (tree %v)", a.Tree)
+	}
+
+	// Drain the bucket, then ask for the same helper at higher priority.
+	sv.tokens = 0
+	sv.lastRefill = eventsim.Millisecond
+	c := &Session{ID: 2, Priority: 2, Root: 20, Members: []int{21, 22, 23}}
+	if _, err := sv.Submit(eventsim.Millisecond, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := sv.Tick(2 * eventsim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st := sv.Stats()
+	if st.PreemptDeferred != 1 {
+		t.Fatalf("PreemptDeferred = %d, want 1", st.PreemptDeferred)
+	}
+	if rs := sv.retry[c.ID]; rs == nil || rs.attempts != 0 {
+		t.Fatalf("damping deferral consumed the retry budget: %+v", sv.retry[c.ID])
+	}
+	if !a.Tree.Contains(5) || sv.sc.reg.HeldOn(a.ID, 5) == 0 {
+		t.Fatal("deferred plan displaced the victim anyway")
+	}
+
+	// Two virtual seconds refill the bucket; the preemption now goes
+	// through and the victim gets its hold-down.
+	if err := sv.Tick(2 * eventsim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Tree == nil || !c.Tree.Contains(5) {
+		t.Fatalf("P2 session never obtained the helper (tree %v)", c.Tree)
+	}
+	if got := sv.sc.Totals().Preemptions; got != 1 {
+		t.Fatalf("Preemptions = %d, want 1", got)
+	}
+	if until, ok := sv.protected[a.ID]; !ok || until <= 2*eventsim.Second {
+		t.Fatalf("victim hold-down not armed: %v, %v", until, ok)
+	}
+	if st := sv.Stats().Class[2]; st.Admitted != 1 {
+		t.Fatalf("P2 admission stats = %+v, want Admitted 1", st)
+	}
+	if err := sv.sc.reg.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceNodeFailureQueueCleanup checks failure detection reaches
+// queued (not yet admitted) sessions: a dead member is stripped from a
+// queued roster, and a queued session rooted on the dead host is
+// dropped and counted as RootDied.
+func TestServiceNodeFailureQueueCleanup(t *testing.T) {
+	sv := NewService([]int{2, 2, 2, 2}, lineLat, undamped())
+	s1 := &Session{ID: 1, Priority: 2, Root: 0, Members: []int{2, 3}}
+	s2 := &Session{ID: 2, Priority: 3, Root: 2, Members: []int{3}}
+	for _, s := range []*Session{s1, s2} {
+		if _, err := sv.Submit(0, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sv.NodeFailed(eventsim.Millisecond, 2)
+	if len(s1.Members) != 1 || s1.Members[0] != 3 {
+		t.Fatalf("dead member not stripped from queued roster: %v", s1.Members)
+	}
+	if sv.QueueDepth() != 1 {
+		t.Fatalf("queue depth = %d, want 1 (root-dead entry dropped)", sv.QueueDepth())
+	}
+	if got := sv.Stats().Class[3].RootDied; got != 1 {
+		t.Fatalf("RootDied = %d, want 1", got)
+	}
+	// Idempotent, like the scheduler-level handler.
+	sv.NodeFailed(2*eventsim.Millisecond, 2)
+	if got := sv.Stats().Class[3].RootDied; got != 1 {
+		t.Fatalf("double failure double-counted RootDied: %d", got)
+	}
+	// The surviving entry admits and plans on the reduced roster.
+	if err := sv.Tick(3 * eventsim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Tree == nil || s1.Tree.Contains(2) {
+		t.Fatalf("queued session planned onto the dead host (tree %v)", s1.Tree)
+	}
+}
