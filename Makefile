@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json profile chaos obs scale audit load ci
+.PHONY: all build test race vet bench bench-json profile chaos obs scale audit load stream ci
 
 all: build
 
@@ -55,19 +55,32 @@ audit:
 load:
 	$(GO) run ./cmd/experiments -fig load -seed 1
 
+# Streaming study: chunk-level media delivery over the planned trees at
+# N=8000 — a bitrate ladder swept through live and VoD playout deadlines
+# with churn on/off, access-link contention from the capacity mixture,
+# and mesh-pull recovery of tree misses; delivered bitrate is reported
+# against the member-only data-driven capacity bound. Opt-in (never part
+# of "all"); same seed => byte-identical output for any -workers.
+stream:
+	$(GO) run ./cmd/experiments -fig stream -seed 1
+
 # Machine-readable bench trajectories: the scale study's per-size wall
 # time, allocations, events/sec, live heap and OS peak RSS appended to
 # BENCH_scale.json (schema bench-scale/v2, documented in
 # internal/experiments/scale.go), and the load study's per-cell wall
 # time and plans/sec appended to BENCH_load.json (schema bench-load/v1,
-# documented in internal/experiments/load.go) — both as labeled runs so
-# the files accumulate the per-PR history. Cells run sequentially so
-# the measurements are honest. Override the label with
+# documented in internal/experiments/load.go), and the stream study's
+# per-(cell, rung) delivered bitrate, miss rate and wall time appended
+# to BENCH_stream.json (schema bench-stream/v1, documented in
+# internal/experiments/stream.go) — all as labeled runs so the files
+# accumulate the per-PR history. Cells run sequentially so the
+# measurements are honest. Override the label with
 # `make bench-json BENCH_LABEL=mybranch`.
-BENCH_LABEL ?= pr7
+BENCH_LABEL ?= pr8
 bench-json:
 	$(GO) run ./cmd/experiments -fig scale -seed 1 -benchjson BENCH_scale.json -bench-label $(BENCH_LABEL)
 	$(GO) run ./cmd/experiments -fig load -seed 1 -benchjson BENCH_load.json -bench-label $(BENCH_LABEL)
+	$(GO) run ./cmd/experiments -fig stream -seed 1 -benchjson BENCH_stream.json -bench-label $(BENCH_LABEL)
 
 # CPU+heap profiles of the full figure set; inspect with
 # `go tool pprof cpu.pprof`.
@@ -88,7 +101,9 @@ profile:
 # smoke soaks the scheduler control plane (admission, shedding,
 # preemption damping, flash crowd) for 45 simulated seconds on a small
 # pool under the race detector; it too exits nonzero on any invariant
-# violation.
+# violation. The stream smoke pushes 10 chunks of payload down planned
+# trees on a 900-host pool under the race detector — the full
+# plan -> pump -> contention -> pull path end to end.
 ci: build vet test race
 	$(GO) run ./cmd/experiments -fig obs -seed 1 > /dev/null
 	$(GO) test -bench=. -benchtime=1x -run '^$$' . > /dev/null
@@ -96,3 +111,4 @@ ci: build vet test race
 	$(GO) run ./cmd/experiments -fig scale -hosts 30000 -scale-runtime 5 -seed 1 > /dev/null
 	$(GO) run -race ./cmd/experiments -fig audit -seed 1 > /dev/null
 	$(GO) run -race ./cmd/experiments -fig load -hosts 300 -load-runtime 45 -seed 1 > /dev/null
+	$(GO) run -race ./cmd/experiments -fig stream -hosts 900 -stream-chunks 10 -seed 1 > /dev/null

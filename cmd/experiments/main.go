@@ -20,7 +20,10 @@
 // study), churn (SOMO mass-crash recovery), chaos (fault-injected
 // self-healing ALM session), ablations (design-choice studies), load
 // (control-plane soak: admission control, shedding and preemption
-// damping under sustained arrivals; opt-in like obs/scale/audit).
+// damping under sustained arrivals; opt-in like obs/scale/audit),
+// stream (chunk-level media delivery over the planned trees: bitrate
+// ladder, live vs VoD deadlines, churn and mesh-pull recovery,
+// delivered bitrate vs the member-only capacity bound; opt-in).
 package main
 
 import (
@@ -39,7 +42,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all, or obs/scale/audit/load (not part of all)")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all, or obs/scale/audit/load/stream (not part of all)")
 		seed    = flag.Int64("seed", 1, "experiment seed (same seed => identical output)")
 		runs    = flag.Int("runs", 0, "override repetition count (0 = experiment default)")
 		hosts   = flag.Int("hosts", 0, "override pool size (0 = paper default 1200)")
@@ -47,12 +50,13 @@ func main() {
 		workers = flag.Int("workers", runtime.NumCPU(), "worker-pool size; output is identical for any value")
 		tracing = flag.Int("trace", 0, "print the last N hop-level trace events (obs figure only)")
 
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		benchJSON  = flag.String("benchjson", "", "append the scale/load study's bench trajectory to this JSON file (existing runs are kept); enables per-cell wall-clock measurement")
-		benchLabel = flag.String("bench-label", "dev", "label for the bench run appended to -benchjson (a run with the same label is replaced)")
-		scaleRT    = flag.Int("scale-runtime", 0, "scale figure: simulated seconds per ring (0 = default 60)")
-		loadRT     = flag.Int("load-runtime", 0, "load figure: simulated seconds per cell (0 = default 600)")
+		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf      = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON    = flag.String("benchjson", "", "append the scale/load study's bench trajectory to this JSON file (existing runs are kept); enables per-cell wall-clock measurement")
+		benchLabel   = flag.String("bench-label", "dev", "label for the bench run appended to -benchjson (a run with the same label is replaced)")
+		scaleRT      = flag.Int("scale-runtime", 0, "scale figure: simulated seconds per ring (0 = default 60)")
+		loadRT       = flag.Int("load-runtime", 0, "load figure: simulated seconds per cell (0 = default 600)")
+		streamChunks = flag.Int("stream-chunks", 0, "stream figure: chunks per run (0 = default 45)")
 	)
 	flag.Parse()
 
@@ -66,8 +70,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer pprof.StopCPUProfile()
+		// Deferred in this order so the profile is flushed before the
+		// file closes (defers run last-in-first-out).
 		defer f.Close()
+		defer pprof.StopCPUProfile()
 	}
 	if *memProf != "" {
 		defer func() {
@@ -258,8 +264,41 @@ func main() {
 			break
 		}
 	}
+	for _, w := range want {
+		if w == "stream" {
+			opts := experiments.StreamOptions{
+				Hosts:   *hosts,
+				Chunks:  *streamChunks,
+				Seed:    *seed,
+				Workers: *workers,
+				Bench:   *benchJSON != "",
+			}
+			run("stream study", func() (experiments.Result, error) {
+				res, err := experiments.Stream(opts)
+				if err != nil {
+					return nil, err
+				}
+				if *benchJSON != "" {
+					existing, err := os.ReadFile(*benchJSON)
+					if err != nil && !os.IsNotExist(err) {
+						return nil, err
+					}
+					out, err := res.AppendBenchJSON(existing, *benchLabel)
+					if err != nil {
+						return nil, err
+					}
+					if err := os.WriteFile(*benchJSON, out, 0o644); err != nil {
+						return nil, err
+					}
+					fmt.Fprintf(os.Stderr, "wrote %s (run %q)\n", *benchJSON, *benchLabel)
+				}
+				return res, nil
+			})
+			break
+		}
+	}
 	if len(results) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, obs, scale, audit, load, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, obs, scale, audit, load, stream, all)\n", *fig)
 		os.Exit(2)
 	}
 

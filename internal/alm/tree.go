@@ -165,45 +165,53 @@ func (t *Tree) MaxHeight(lat LatencyFunc) float64 {
 	return max
 }
 
-// heightScratch reuses the BFS map and queue across repeated height
-// evaluations on trees of similar shape. Adjust and Repair evaluate
-// MaxHeight once per candidate move — hundreds of evaluations per
-// call — and allocating a fresh map for each dominated their cost.
-// The max/argmax reductions below are order-independent (ties broken
-// by node id), so results match the allocating Tree methods exactly.
+// heightScratch reuses BFS buffers across repeated height evaluations
+// on trees of similar shape. Adjust and Repair evaluate MaxHeight once
+// per candidate move — hundreds of evaluations per call — and the
+// original map-backed scratch spent most of its time hashing: node ids
+// are small non-negative host indices (the invariant everywhere in
+// this repo), so heights live in a dense slice indexed by id and the
+// max/argmax reductions fuse into the BFS pass itself. Ties break by
+// node id, so results match the allocating Tree methods exactly.
 type heightScratch struct {
-	h     map[int]float64
+	h     []float64
 	queue []int
 }
 
-// heights fills s.h with every reachable node's height; the returned
-// map is valid until the next call on s.
-func (s *heightScratch) heights(t *Tree, lat LatencyFunc) map[int]float64 {
-	if s.h == nil {
-		s.h = make(map[int]float64, t.Size())
-	} else {
-		clear(s.h)
-	}
+// bfs walks the tree filling s.h for every reachable node and returns
+// the visit order; both buffers are valid until the next call on s.
+func (s *heightScratch) bfs(t *Tree, lat LatencyFunc) []int {
 	q := s.queue[:0]
+	s.ensure(t.Root)
 	s.h[t.Root] = 0
 	q = append(q, t.Root)
 	for head := 0; head < len(q); head++ {
 		v := q[head]
 		hv := s.h[v]
 		for _, c := range t.children[v] {
+			s.ensure(c)
 			s.h[c] = hv + lat(v, c)
 			q = append(q, c)
 		}
 	}
 	s.queue = q
-	return s.h
+	return q
+}
+
+func (s *heightScratch) ensure(v int) {
+	for v >= len(s.h) {
+		s.h = append(s.h, 0)
+		if n := cap(s.h); len(s.h) < n {
+			s.h = s.h[:n]
+		}
+	}
 }
 
 // maxHeight is Tree.MaxHeight on reused buffers.
 func (s *heightScratch) maxHeight(t *Tree, lat LatencyFunc) float64 {
 	max := 0.0
-	for _, h := range s.heights(t, lat) {
-		if h > max {
+	for _, v := range s.bfs(t, lat) {
+		if h := s.h[v]; h > max {
 			max = h
 		}
 	}
@@ -213,8 +221,8 @@ func (s *heightScratch) maxHeight(t *Tree, lat LatencyFunc) float64 {
 // highestNode is Tree.HighestNode on reused buffers.
 func (s *heightScratch) highestNode(t *Tree, lat LatencyFunc) int {
 	best, bestH := t.Root, -1.0
-	for v, h := range s.heights(t, lat) {
-		if h > bestH || (h == bestH && v < best) {
+	for _, v := range s.bfs(t, lat) {
+		if h := s.h[v]; h > bestH || (h == bestH && v < best) {
 			best, bestH = v, h
 		}
 	}

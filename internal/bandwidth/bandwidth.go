@@ -42,17 +42,24 @@ func EstimateAll(m *netmodel.Model, neighbors func(i int) []int, probeBytes int,
 			if y == x || y < 0 || y >= n {
 				continue
 			}
-			// x -> y probe: contributes to x's uplink and is also the
-			// sample y would use for its downlink; both directions are
-			// probed because the protocol is symmetric ("y does the
-			// same probing as x").
+			// x -> y probe: contributes to x's uplink, and the same
+			// dispersion observed at y is the sample y uses for its
+			// downlink — record both ends, since under asymmetric
+			// leafsets (y lists x but not vice versa) the receiver-side
+			// sample is the only one y ever gets for this pair.
 			fwd := m.PacketPair(x, y, probeBytes, rng)
 			if fwd > out[x].Up {
 				out[x].Up = fwd
 			}
+			if fwd > out[y].Down {
+				out[y].Down = fwd
+			}
 			rev := m.PacketPair(y, x, probeBytes, rng)
 			if rev > out[x].Down {
 				out[x].Down = rev
+			}
+			if rev > out[y].Up {
+				out[y].Up = rev
 			}
 		}
 	}

@@ -110,6 +110,33 @@ func TestRelativeErrorsEdgeCases(t *testing.T) {
 	}
 }
 
+func TestEstimateAllAsymmetricLeafset(t *testing.T) {
+	// Regression: the x->y probe's dispersion is observed at y, so it is
+	// y's downlink sample even when y does not list x as a neighbor —
+	// the asymmetric leafsets churn produces. Pre-fix, only out[x] was
+	// ever updated and host 1 below kept zero estimates.
+	m, err := netmodel.New(2, netmodel.Options{
+		Classes: []netmodel.Class{{Name: "dsl", Fraction: 1, Up: 5000, Down: 1000}},
+		Seed:    21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbs := [][]int{{1}, {}} // 0 lists 1; 1 lists nobody
+	est := EstimateAll(m, func(i int) []int { return nbs[i] }, 1500, nil)
+	// Probe 0->1 measures min(up(0), down(1)) = 1000; probe 1->0 (the
+	// symmetric reverse 0 initiates) measures min(up(1), down(0)) = 1000.
+	if est[0].Up != 1000 || est[0].Down != 1000 {
+		t.Fatalf("initiator estimates = %+v, want Up=1000 Down=1000", est[0])
+	}
+	if est[1].Down != 1000 {
+		t.Errorf("receiver-side downlink sample dropped: est[1].Down = %v, want 1000", est[1].Down)
+	}
+	if est[1].Up != 1000 {
+		t.Errorf("receiver-side uplink sample dropped: est[1].Up = %v, want 1000", est[1].Up)
+	}
+}
+
 func TestEstimateAllSkipsBadNeighbors(t *testing.T) {
 	m, _ := netmodel.New(4, netmodel.Options{Seed: 8})
 	est := EstimateAll(m, func(i int) []int { return []int{i, -1, 99} }, 1500, nil)

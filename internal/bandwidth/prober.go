@@ -130,6 +130,16 @@ func (p *Prober) onApp(from dht.Entry, payload interface{}) {
 		now := p.node.Network().Now()
 		switch m.Seq {
 		case 1:
+			// A lost seq-2 would otherwise leak its pending entry
+			// forever; expire anything old enough that its pair can no
+			// longer arrive back-to-back. (A late match after this
+			// window would only ever measure queueing, not dispersion.)
+			horizon := 10 * p.opt.ProbeInterval
+			for k, t1 := range p.pending {
+				if now-t1 > horizon {
+					delete(p.pending, k)
+				}
+			}
 			p.pending[key] = now
 		case 2:
 			t1, ok := p.pending[key]

@@ -1,0 +1,137 @@
+package bandwidth
+
+import (
+	"math/rand"
+	"testing"
+
+	"p2ppool/internal/dht"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/faultnet"
+	"p2ppool/internal/netmodel"
+	"p2ppool/internal/transport"
+)
+
+// buildProberFleet wires n DHT nodes with probers over the given
+// network, on top of a netmodel whose truth the test checks against.
+func buildProberFleet(t *testing.T, net transport.Network, m *netmodel.Model, n int, seed int64) ([]*dht.Node, []*Prober) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	idList := dht.RandomIDs(n, r)
+	addrs := make([]transport.Addr, n)
+	for i := range addrs {
+		addrs[i] = transport.Addr(i)
+	}
+	nodes, err := dht.BuildRing(net, idList, addrs, dht.Config{
+		LeafsetRadius:     8,
+		HeartbeatInterval: 5 * eventsim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probers := make([]*Prober, n)
+	for i, nd := range nodes {
+		probers[i] = NewProber(nd, ProberOptions{ProbeInterval: eventsim.Second})
+	}
+	return nodes, probers
+}
+
+// TestProberUnderLossAndJitter pins the max-rule safety property under a
+// hostile network: probes that faultnet drops or reorders may leave an
+// estimate stale (even zero), but must never inflate it past the true
+// capacity. Jitter is applied at send time, so the transport's per-pair
+// serialization still lower-bounds the pair gap at the true dispersion;
+// a reordered pair (seq 2 first) finds no pending entry and is ignored.
+func TestProberUnderLossAndJitter(t *testing.T) {
+	const n = 24
+	m, err := netmodel.New(n, netmodel.Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := eventsim.New(32)
+	sim := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, b int) float64 {
+			if a == b {
+				return 0
+			}
+			return 10
+		},
+		Bottleneck: m.PathBottleneck,
+	})
+	f := faultnet.New(sim, faultnet.Options{Seed: 33})
+	// A seeded fault script: jitter large enough to reorder pairs from
+	// the start, then per-node and per-link loss, then a mid-run crash.
+	f.SetJitter(40)
+	f.Install([]faultnet.Step{
+		{At: 10 * eventsim.Second, Do: func(f *faultnet.Net) {
+			for a := 0; a < n; a += 3 {
+				f.SetNodeLoss(transport.Addr(a), 0.3)
+			}
+		}},
+		{At: 20 * eventsim.Second, Do: func(f *faultnet.Net) {
+			for a := 0; a < n; a++ {
+				f.SetLinkLoss(transport.Addr(a), transport.Addr((a+1)%n), 0.5)
+			}
+		}},
+	})
+	f.CrashAt(40*eventsim.Second, transport.Addr(5))
+	f.RestartAt(60*eventsim.Second, transport.Addr(5))
+
+	nodes, probers := buildProberFleet(t, f, m, n, 34)
+	engine.RunUntil(2 * eventsim.Minute)
+
+	ctr := f.Counters()
+	if ctr.NodeDrops+ctr.LinkDrops == 0 {
+		t.Fatal("fault script injected no loss; test exercises nothing")
+	}
+	if ctr.Delayed == 0 {
+		t.Fatal("fault script injected no jitter; test exercises nothing")
+	}
+	measured := 0
+	for i, p := range probers {
+		host := int(nodes[i].Self().Addr)
+		if p.Measurements() > 0 {
+			measured++
+		}
+		if p.UpEstimate() > m.Up(host)+1e-6 {
+			t.Errorf("host %d: up estimate %v inflated past truth %v", host, p.UpEstimate(), m.Up(host))
+		}
+		if p.DownEstimate() > m.Down(host)+1e-6 {
+			t.Errorf("host %d: down estimate %v inflated past truth %v", host, p.DownEstimate(), m.Down(host))
+		}
+	}
+	// Staleness is allowed; total silence would mean the protocol made
+	// no progress at all under loss, which is a different bug.
+	if measured < n/4 {
+		t.Fatalf("only %d/%d probers measured anything under loss", measured, n)
+	}
+}
+
+// TestProberPendingExpiry pins the seq-2-loss hygiene fix: a pending
+// seq-1 entry whose pair never arrives is expired rather than retained
+// forever.
+func TestProberPendingExpiry(t *testing.T) {
+	engine := eventsim.New(35)
+	net := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, b int) float64 { return 5 },
+	})
+	nd := dht.NewNode(net, 1, 0, dht.Config{})
+	nd.Bootstrap()
+	p := NewProber(nd, ProberOptions{ProbeInterval: eventsim.Second})
+	p.Stop()
+	// 200 orphan seq-1 probes spread over 200 s: far more than the
+	// ~10-interval expiry horizon, so the map must stay bounded.
+	for i := 0; i < 200; i++ {
+		i := i
+		engine.At(eventsim.Time(i)*eventsim.Second, func() {
+			p.onApp(dht.Entry{ID: 2, Addr: 3},
+				pairProbe{From: dht.Entry{ID: 2, Addr: 3}, ProbeID: uint64(i), Seq: 1})
+		})
+	}
+	engine.RunUntil(300 * eventsim.Second)
+	if len(p.pending) > 20 {
+		t.Errorf("pending map grew to %d entries; seq-2 loss leaks are not expired", len(p.pending))
+	}
+	if p.Measurements() != 0 {
+		t.Error("orphan probes produced measurements")
+	}
+}

@@ -1,0 +1,212 @@
+package dataplane
+
+import (
+	"testing"
+
+	"p2ppool/internal/alm"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/transport"
+)
+
+// world builds an engine, a 10ms-everywhere simulated transport, and a
+// plane over uniform per-host capacities.
+func world(t *testing.T, n int, upKbps, downKbps float64) (*eventsim.Engine, *Plane) {
+	t.Helper()
+	engine := eventsim.New(1)
+	net := transport.NewSim(engine, transport.SimOptions{
+		Latency: func(a, b int) float64 {
+			if a == b {
+				return 0
+			}
+			return 10
+		},
+	})
+	up := make([]float64, n)
+	down := make([]float64, n)
+	for i := range up {
+		up[i] = upKbps
+		down[i] = downKbps
+	}
+	pl := NewPlane(net, up, down)
+	pl.Attach(n)
+	return engine, pl
+}
+
+func chain(hosts ...int) *alm.Tree {
+	tr := alm.NewTree(hosts[0])
+	for i := 1; i < len(hosts); i++ {
+		if err := tr.Attach(hosts[i], hosts[i-1]); err != nil {
+			panic(err)
+		}
+	}
+	return tr
+}
+
+func TestPumpDeliversOnStaticTree(t *testing.T) {
+	engine, pl := world(t, 4, 10000, 10000)
+	tr := chain(0, 1, 2, 3)
+	p, err := pl.StartPump(1, 0, []int{1, 2, 3}, func() *alm.Tree { return tr }, nil, 0, Config{
+		BitrateKbps: 400, Chunks: 10, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(30 * eventsim.Second)
+	st := p.Finalize()
+	if st.Expected != 30 {
+		t.Fatalf("Expected = %d, want 30 (3 members x 10 chunks)", st.Expected)
+	}
+	if st.OnTimeTree != 30 || st.TreeMisses != 0 {
+		t.Fatalf("outcomes %+v, want all on-time via tree", st)
+	}
+	if st.PullsSent != 0 {
+		t.Fatalf("PullsSent = %d on a healthy tree, want 0", st.PullsSent)
+	}
+	// Relay chain: the source sends each chunk once, relays twice —
+	// offload 2/3.
+	if got := st.SourceOffload(); got < 0.66 || got > 0.67 {
+		t.Fatalf("SourceOffload = %v, want ~2/3", got)
+	}
+}
+
+func TestPumpContentionMissesDeadlines(t *testing.T) {
+	// Source uplink exactly one rung: two direct children share it, so
+	// each chunk takes two chunk durations to push — the backlog grows
+	// and deadlines blow. The same shape with 4x headroom is clean.
+	run := func(upKbps float64) Stats {
+		engine, pl := world(t, 3, upKbps, 100000)
+		tr := alm.NewTree(0)
+		tr.Attach(1, 0)
+		tr.Attach(2, 0)
+		p, err := pl.StartPump(1, 0, []int{1, 2}, func() *alm.Tree { return tr }, nil, 0, Config{
+			BitrateKbps: 400, Chunks: 10, PullNeighbors: 0, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		engine.RunUntil(60 * eventsim.Second)
+		return p.Finalize()
+	}
+	tight := run(400)
+	if tight.Late+tight.Lost == 0 {
+		t.Fatalf("no deadline misses at capacity == bitrate with fanout 2: %+v", tight)
+	}
+	loose := run(1600)
+	if loose.OnTimeTree != loose.Expected {
+		t.Fatalf("misses at 4x headroom: %+v", loose)
+	}
+	if loose.OnTimeFraction() <= tight.OnTimeFraction() {
+		t.Fatal("delivered fraction did not improve with capacity")
+	}
+}
+
+func TestPumpPullRecoversDetachedMember(t *testing.T) {
+	// Member 3 is not in the tree at all (a detached subtree the
+	// control plane has not repaired): every chunk is a tree miss, and
+	// mesh-pull from fellow members recovers all of them in time.
+	engine, pl := world(t, 4, 10000, 10000)
+	tr := chain(0, 1, 2)
+	p, err := pl.StartPump(1, 0, []int{1, 2, 3}, func() *alm.Tree { return tr }, nil, 0, Config{
+		BitrateKbps: 400, Chunks: 10, PullNeighbors: 2, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(60 * eventsim.Second)
+	st := p.Finalize()
+	if st.TreeMisses != 10 {
+		t.Fatalf("TreeMisses = %d, want 10 (member 3's whole stream)", st.TreeMisses)
+	}
+	if st.PullRecovered != 10 || st.Late != 0 || st.Lost != 0 {
+		t.Fatalf("attribution %+v, want all 10 misses pull-recovered", st)
+	}
+	if st.PullRecovered+st.Late+st.Lost != st.TreeMisses {
+		t.Fatalf("attribution does not partition tree misses: %+v", st)
+	}
+	if st.OnTimeTree != 20 {
+		t.Fatalf("OnTimeTree = %d, want 20 (members 1, 2)", st.OnTimeTree)
+	}
+	// Without the mesh the same detachment is a total loss.
+	engine2, pl2 := world(t, 4, 10000, 10000)
+	p2, err := pl2.StartPump(1, 0, []int{1, 2, 3}, func() *alm.Tree { return tr }, nil, 0, Config{
+		BitrateKbps: 400, Chunks: 10, PullNeighbors: 0, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine2.RunUntil(60 * eventsim.Second)
+	if st2 := p2.Finalize(); st2.Lost != 10 || st2.PullsSent != 0 {
+		t.Fatalf("pull-disabled outcomes %+v, want 10 lost", st2)
+	}
+}
+
+func TestPumpRoutingSwapsLive(t *testing.T) {
+	// Chunks 0-5 fan out 0->{1,2}; at 5.5s a "replan" reroutes to the
+	// chain 0->1->2. Forwarding re-reads the tree, so the source's
+	// transfer bytes drop from 2 chunks/emission to 1 with no restart.
+	engine, pl := world(t, 3, 10000, 10000)
+	fan := alm.NewTree(0)
+	fan.Attach(1, 0)
+	fan.Attach(2, 0)
+	cur := fan
+	p, err := pl.StartPump(1, 0, []int{1, 2}, func() *alm.Tree { return cur }, nil, 0, Config{
+		BitrateKbps: 400, Chunks: 10, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.At(5500, func() { cur = chain(0, 1, 2) })
+	engine.RunUntil(60 * eventsim.Second)
+	st := p.Finalize()
+	if st.OnTimeTree != st.Expected {
+		t.Fatalf("reroute dropped chunks: %+v", st)
+	}
+	// 6 emissions x 2 copies + 4 emissions x 1 copy from the source;
+	// 4 relayed copies from host 1. Chunk = 50 KB.
+	const chunk = 50000
+	if st.SourceTxBytes != 16*chunk {
+		t.Fatalf("SourceTxBytes = %d, want %d", st.SourceTxBytes, 16*chunk)
+	}
+	if st.TotalTxBytes != 20*chunk {
+		t.Fatalf("TotalTxBytes = %d, want %d", st.TotalTxBytes, 20*chunk)
+	}
+}
+
+func TestPumpDeadSourceEmitsNothing(t *testing.T) {
+	engine, pl := world(t, 3, 10000, 10000)
+	tr := chain(0, 1, 2)
+	deadFrom := eventsim.Time(4500)
+	alive := func(h int) bool {
+		return h != 0 || pl.net.Now() < deadFrom
+	}
+	p, err := pl.StartPump(1, 0, []int{1, 2}, func() *alm.Tree { return tr }, alive, 0, Config{
+		BitrateKbps: 400, Chunks: 10, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(60 * eventsim.Second)
+	st := p.Finalize()
+	// Chunks 0-4 emitted before the source died; 5-9 never became due.
+	if st.Expected != 10 {
+		t.Fatalf("Expected = %d, want 10 (2 members x 5 emitted chunks)", st.Expected)
+	}
+	if st.OnTimeTree != 10 {
+		t.Fatalf("outcomes %+v, want the 5 emitted chunks delivered", st)
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	// Source-limited: a weak source caps the stream regardless of
+	// receiver wealth.
+	if got := CapacityBound(300, []float64{10000, 10000}); got != 300 {
+		t.Fatalf("source-limited bound = %v, want 300", got)
+	}
+	// Receiver-limited: r* = (1000 + 100 + 100) / 2 = 600.
+	if got := CapacityBound(1000, []float64{100, 100}); got != 600 {
+		t.Fatalf("receiver-limited bound = %v, want 600", got)
+	}
+	if got := CapacityBound(700, nil); got != 700 {
+		t.Fatalf("no-receiver bound = %v, want 700", got)
+	}
+}

@@ -146,6 +146,35 @@ func TestLoadWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// The stream study is the data plane's soak harness and feeds
+// BENCH_stream.json, so like the load study it is diffed across three
+// worker counts: per-run engines, pre-drawn rosters, churn schedules
+// and mesh-neighbor sets must render byte-identically however the
+// (cell, rung) runs are spread over workers.
+func TestStreamWorkerDeterminism(t *testing.T) {
+	run := func(w int) (Result, error) {
+		opts := smallStream(1)
+		opts.Hosts = 300
+		opts.Chunks = 8
+		opts.Workers = w
+		return Stream(opts)
+	}
+	base, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(base)
+	for _, w := range []int{4, 16} {
+		res, err := run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderAll(res); got != want {
+			t.Errorf("stream output differs between Workers=1 and Workers=%d:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s", w, want, w, got)
+		}
+	}
+}
+
 // The audit is held to a stricter standard than the figures — the
 // issue of record is a byte-identical reproduction trace, so the
 // rendered output is diffed across three worker counts, not two.

@@ -348,11 +348,11 @@ func loadRun(idx int, cell string, opts LoadOptions) (LoadRow, error) {
 	sim := transport.NewSim(engine, transport.SimOptions{Latency: transport.LatencyFunc(lat)})
 	f := faultnet.New(sim, faultnet.Options{Seed: opts.Seed*100 + int64(idx)})
 	// Retry/backoff stay at the package defaults (budget 3, base 500ms
-	// doubling to 8s, compressed per class): like the DHT's SuspectTTL
-	// in the audit harness, these are absolute times coupled to other
-	// absolute times — here the 2s/4s/8s admit deadlines — not to the
-	// window, so a harness that overrides the deadlines must rescale
-	// the backoff with them or the budget won't fit the SLO.
+	// doubling to 8s, compressed per class). These are coupled to the
+	// 2s/4s/8s admit deadlines, not to the window; a harness that
+	// overrides the deadlines but not the backoff now gets the defaults
+	// rescaled by the same factor in withDefaults, so the budget always
+	// fits the SLO.
 	sv := sched.NewService(degrees, lat, sched.ServiceConfig{
 		Sched: sched.Config{ScoreLatency: lat, MetricScore: true},
 		Seed:  opts.Seed*10 + int64(idx) + 5,

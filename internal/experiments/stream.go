@@ -1,0 +1,674 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"p2ppool/internal/alm"
+	"p2ppool/internal/bandwidth"
+	"p2ppool/internal/dataplane"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/faultnet"
+	"p2ppool/internal/netmodel"
+	"p2ppool/internal/obs"
+	"p2ppool/internal/par"
+	"p2ppool/internal/sched"
+	"p2ppool/internal/transport"
+)
+
+// StreamOptions parameterizes the streaming study: chunk-level media
+// delivery over scheduler-planned trees, with access-link contention
+// from the netmodel capacity mixture, a bitrate ladder sweep, live vs
+// VoD playout buffers, churn on/off, and mesh-pull recovery. Delivered
+// bitrate is reported against the data-driven capacity upper bound of
+// Chakareski et al. computed over each session's members — helpers
+// recruited from the surrounding pool add uplink the bound does not
+// see, so beating it measures the resource pool's contribution.
+type StreamOptions struct {
+	// Hosts is the pool size; sessions and helpers draw from it.
+	Hosts int
+	// Sessions is how many concurrent streaming sessions run.
+	Sessions int
+	// GroupSize is each session's size including the source.
+	GroupSize int
+	// Chunks is the stream length in chunks; ChunkDur the chunk
+	// duration.
+	Chunks   int
+	ChunkDur eventsim.Time
+	// Rungs is the bitrate ladder in kbps; every cell runs every rung.
+	Rungs []float64
+	// Cells selects the scenario cells; defaults to all four:
+	// "live" (3 s playout buffer), "live-churn" (same plus member
+	// churn), "vod" (15 s buffer), "vod-churn".
+	Cells []string
+	// PlayoutLive / PlayoutVoD are the per-chunk deadlines after
+	// emission for the two content types.
+	PlayoutLive eventsim.Time
+	PlayoutVoD  eventsim.Time
+	// PullNeighbors is each member's seeded mesh-neighbor count; 0
+	// disables mesh-pull.
+	PullNeighbors int
+	// Leafset is the estimation leafset size for the Section 4.2
+	// bandwidth estimates that drive planning degrees.
+	Leafset int
+	// CrashRate is the churn intensity in crashes per virtual minute
+	// (churn cells only), drawn over session members (crashing idle
+	// pool hosts exercises nothing). RestartDelay is the downtime;
+	// DetectDelay the crash-to-NodeFailed detection lag.
+	CrashRate    float64
+	RestartDelay eventsim.Time
+	DetectDelay  eventsim.Time
+	// TickEvery is the control plane's Tick period.
+	TickEvery eventsim.Time
+	Seed      int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// output is identical for any worker count.
+	Workers int
+	// Bench enables wall-clock measurement (runs then execute
+	// sequentially so the readings are attributable).
+	Bench bool
+	// Registry, when set, instruments every run's service, fault layer
+	// and data plane. Handles are not synchronized: share a registry
+	// across runs only with Workers = 1.
+	Registry *obs.Registry
+}
+
+func (o StreamOptions) withDefaults() StreamOptions {
+	if o.Hosts <= 0 {
+		o.Hosts = 8000
+	}
+	if o.Sessions <= 0 {
+		o.Sessions = 6
+	}
+	if o.GroupSize <= 0 {
+		o.GroupSize = 100
+	}
+	if o.Chunks <= 0 {
+		o.Chunks = 45
+	}
+	if o.ChunkDur <= 0 {
+		o.ChunkDur = eventsim.Second
+	}
+	if len(o.Rungs) == 0 {
+		// Against the Gnutella mixture's ~1.1 Mbps mean member uplink:
+		// comfortable, near-capacity, and above-capacity rungs.
+		o.Rungs = []float64{250, 600, 1200}
+	}
+	if len(o.Cells) == 0 {
+		o.Cells = []string{"live", "live-churn", "vod", "vod-churn"}
+	}
+	if o.PlayoutLive <= 0 {
+		o.PlayoutLive = 3 * eventsim.Second
+	}
+	if o.PlayoutVoD <= 0 {
+		o.PlayoutVoD = 15 * eventsim.Second
+	}
+	if o.PullNeighbors <= 0 {
+		o.PullNeighbors = 4
+	}
+	if o.Leafset <= 0 {
+		o.Leafset = 16
+	}
+	if o.CrashRate <= 0 {
+		o.CrashRate = 24
+	}
+	if o.RestartDelay <= 0 {
+		o.RestartDelay = 10 * eventsim.Second
+	}
+	if o.DetectDelay <= 0 {
+		o.DetectDelay = 800 * eventsim.Millisecond
+	}
+	if o.TickEvery <= 0 {
+		o.TickEvery = 250 * eventsim.Millisecond
+	}
+	return o
+}
+
+// streamChurn reports whether a cell runs member churn.
+func streamChurn(cell string) bool {
+	return cell == "live-churn" || cell == "vod-churn"
+}
+
+// streamPlayout is the cell's per-chunk playout deadline.
+func (o StreamOptions) streamPlayout(cell string) eventsim.Time {
+	if cell == "vod" || cell == "vod-churn" {
+		return o.PlayoutVoD
+	}
+	return o.PlayoutLive
+}
+
+// StreamRow is one (cell, rung) run's outcome. Everything except the
+// Bench field is a pure function of the seed (worker-independent).
+type StreamRow struct {
+	Cell     string
+	RungKbps float64
+	// Planned counts sessions that obtained a tree at least once.
+	Planned int
+	// Outcome partition over expected (member, chunk) pairs; see
+	// dataplane.Stats.
+	Expected      int
+	OnTimeTree    int
+	PullRecovered int
+	Late          int
+	Lost          int
+	TreeMisses    int
+	Duplicates    int
+	PullsSent     int
+	// DeliveredKbps = rung x on-time fraction, aggregated over every
+	// expected pair; BoundKbps is the mean member-only capacity bound
+	// across sessions.
+	DeliveredKbps float64
+	BoundKbps     float64
+	// MissRate is 1 - on-time fraction; PullSavedFrac is the fraction
+	// of tree misses mesh-pull recovered in time.
+	MissRate      float64
+	PullSavedFrac float64
+	// SourceOffload is 1 - source bytes / total bytes across sessions.
+	SourceOffload float64
+	// Control-plane activity during the stream.
+	Crashes int
+	Repairs int
+	Replans int
+
+	// BenchWallMS is filled only when StreamOptions.Bench is set.
+	BenchWallMS float64 `json:"wall_ms"`
+}
+
+// StreamResult is the streaming study.
+type StreamResult struct {
+	Opts StreamOptions
+	Rows []StreamRow
+}
+
+// Row returns the (cell, rung) row, or nil.
+func (r *StreamResult) Row(cell string, rung float64) *StreamRow {
+	for i := range r.Rows {
+		if r.Rows[i].Cell == cell && r.Rows[i].RungKbps == rung {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Stream runs the streaming study: every cell at every ladder rung,
+// each run an independent seeded world.
+func Stream(opts StreamOptions) (*StreamResult, error) {
+	opts = opts.withDefaults()
+	if opts.Sessions*opts.GroupSize > opts.Hosts {
+		return nil, fmt.Errorf("experiments: %d sessions x %d members exceed %d hosts",
+			opts.Sessions, opts.GroupSize, opts.Hosts)
+	}
+	type runSpec struct {
+		cell string
+		rung float64
+	}
+	var specs []runSpec
+	for _, cell := range opts.Cells {
+		for _, rung := range opts.Rungs {
+			specs = append(specs, runSpec{cell, rung})
+		}
+	}
+	workers := opts.Workers
+	if opts.Bench {
+		workers = 1
+	}
+	rows, err := par.MapErr(workers, len(specs), func(i int) (StreamRow, error) {
+		return streamRun(i, specs[i].cell, specs[i].rung, opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &StreamResult{Opts: opts, Rows: rows}, nil
+}
+
+// streamWorld builds the static world every run shares: coordinates
+// (the latency metric), the capacity population, and the Section 4.2
+// leafset bandwidth estimates. A pure function of the seed.
+func streamWorld(opts StreamOptions) (alm.LatencyFunc, *netmodel.Model, []bandwidth.Estimates, error) {
+	r := rand.New(rand.NewSource(opts.Seed + 2))
+	xs := make([]float64, opts.Hosts)
+	ys := make([]float64, opts.Hosts)
+	for h := 0; h < opts.Hosts; h++ {
+		xs[h] = r.Float64() * 200
+		ys[h] = r.Float64() * 200
+	}
+	lat := func(a, b int) float64 {
+		if a == b {
+			return 0
+		}
+		dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+		return 5 + math.Sqrt(dx*dx+dy*dy)
+	}
+	model, err := netmodel.New(opts.Hosts, netmodel.Options{Seed: opts.Seed + 3})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Random-membership leafsets, the DHT's shape, estimated with the
+	// paper's max rule; planning runs on these estimates while the
+	// contention physics below runs on model truth.
+	lr := rand.New(rand.NewSource(opts.Seed + 4))
+	leafs := make([][]int, opts.Hosts)
+	for i := range leafs {
+		seen := map[int]bool{i: true}
+		for len(leafs[i]) < opts.Leafset {
+			x := lr.Intn(opts.Hosts)
+			if !seen[x] {
+				seen[x] = true
+				leafs[i] = append(leafs[i], x)
+			}
+		}
+	}
+	est := bandwidth.EstimateAll(model, func(i int) []int { return leafs[i] }, 1500, nil)
+	return lat, model, est, nil
+}
+
+// streamDegrees converts uplink estimates into per-host degree bounds
+// for one ladder rung: how many concurrent chunk flows (children plus
+// the host's own parent link) the estimated uplink sustains at the
+// rung's bitrate, clamped to [1, 16]. Each child is costed at 1.3x the
+// rung, not 1.0x: a relay packed to 100% uplink utilization has no
+// headroom for transfer overlap (chunk k+1 arriving while k is still
+// forwarding halves the fair share and the backlog never drains), so
+// like any production streaming system the planner provisions ~75%
+// peak utilization.
+func streamDegrees(est []bandwidth.Estimates, rungKbps float64) []int {
+	out := make([]int, len(est))
+	for i, e := range est {
+		d := int(e.Up/(1.3*rungKbps)) + 1
+		if d < 1 {
+			d = 1
+		}
+		if d > 16 {
+			d = 16
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// streamSession is one pre-drawn streaming session.
+type streamSession struct {
+	id      sched.SessionID
+	pri     int
+	root    int
+	members []int
+}
+
+// genStreamSessions pre-draws disjoint rosters and picks each session's
+// source as the member with the best estimated uplink (the planner's
+// knowledge, not ground truth). Subscribers are drawn only from hosts
+// whose estimated downlink carries the top ladder rung — the client
+// capability check every adaptive-streaming player performs before
+// requesting a rendition; a modem host joining a 1.2 Mbps stream would
+// only measure its own access link, not the delivery system.
+func genStreamSessions(rng *rand.Rand, est []bandwidth.Estimates, opts StreamOptions) ([]streamSession, error) {
+	top := 0.0
+	for _, r := range opts.Rungs {
+		if r > top {
+			top = r
+		}
+	}
+	var eligible []int
+	for h := 0; h < opts.Hosts; h++ {
+		if est[h].Down >= top {
+			eligible = append(eligible, h)
+		}
+	}
+	if opts.Sessions*opts.GroupSize > len(eligible) {
+		return nil, fmt.Errorf("experiments: %d sessions x %d members need more than the %d hosts whose downlink carries %.0f kbps",
+			opts.Sessions, opts.GroupSize, len(eligible), top)
+	}
+	perm := rng.Perm(len(eligible))
+	out := make([]streamSession, 0, opts.Sessions)
+	for s := 0; s < opts.Sessions; s++ {
+		roster := make([]int, opts.GroupSize)
+		for i := range roster {
+			roster[i] = eligible[perm[s*opts.GroupSize+i]]
+		}
+		best := 0
+		for i, h := range roster {
+			if est[h].Up > est[roster[best]].Up {
+				best = i
+			}
+		}
+		members := make([]int, 0, len(roster)-1)
+		for i, h := range roster {
+			if i != best {
+				members = append(members, h)
+			}
+		}
+		out = append(out, streamSession{
+			id:      sched.SessionID(s + 1),
+			pri:     s%sched.NumClasses + 1,
+			root:    roster[best],
+			members: members,
+		})
+	}
+	return out, nil
+}
+
+func streamRun(idx int, cell string, rung float64, opts StreamOptions) (StreamRow, error) {
+	start := time.Now()
+	lat, model, est, err := streamWorld(opts)
+	if err != nil {
+		return StreamRow{}, err
+	}
+	degrees := streamDegrees(est, rung)
+	engine := eventsim.New(opts.Seed + int64(idx))
+	sim := transport.NewSim(engine, transport.SimOptions{Latency: transport.LatencyFunc(lat)})
+	f := faultnet.New(sim, faultnet.Options{Seed: opts.Seed*100 + int64(idx)})
+	sv := sched.NewService(degrees, lat, sched.ServiceConfig{
+		Sched: sched.Config{ScoreLatency: lat, MetricScore: true, HelperMinDegree: 2},
+		Seed:  opts.Seed*10 + int64(idx) + 5,
+	})
+	sv.Instrument(opts.Registry)
+	f.Instrument(opts.Registry, nil)
+
+	srng := rand.New(rand.NewSource(opts.Seed*1000 + int64(idx)*17 + 3))
+	sessions, err := genStreamSessions(srng, est, opts)
+	if err != nil {
+		return StreamRow{}, err
+	}
+
+	row := StreamRow{Cell: cell, RungKbps: rung}
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// --- control plane: submit, tick, churn ---
+	playout := opts.streamPlayout(cell)
+	pumpStart := 2 * eventsim.Second
+	streamEnd := pumpStart + eventsim.Time(opts.Chunks)*opts.ChunkDur + playout
+	runEnd := streamEnd + 10*eventsim.Second
+
+	for _, s := range sessions {
+		s := s
+		engine.At(100*eventsim.Millisecond, func() {
+			sess := &sched.Session{ID: s.id, Priority: s.pri, Root: s.root, Members: append([]int(nil), s.members...)}
+			if _, err := sv.Submit(f.Now(), sess); err != nil {
+				fail(err)
+			}
+		})
+	}
+	var tick func()
+	tick = func() {
+		if err := sv.Tick(f.Now()); err != nil {
+			fail(err)
+			return
+		}
+		if f.Now() < runEnd {
+			f.After(opts.TickEvery, tick)
+		}
+	}
+	f.After(opts.TickEvery, tick)
+
+	f.OnCrash(func(a transport.Addr) {
+		f.After(opts.DetectDelay, func() {
+			if f.Crashed(a) {
+				sv.NodeFailed(f.Now(), int(a))
+			}
+		})
+	})
+	f.OnRestart(func(a transport.Addr) { sv.NodeRecovered(f.Now(), int(a)) })
+	if streamChurn(cell) && opts.CrashRate > 0 {
+		// Churn hits streaming members only — crashing an idle pool
+		// host exercises nothing. Sources are spared: a dead source is
+		// a different study (the whole stream just ends).
+		var pool []int
+		for _, s := range sessions {
+			pool = append(pool, s.members...)
+		}
+		crng := rand.New(rand.NewSource(opts.Seed*1000 + int64(idx)*31 + 7))
+		for at := pumpStart + 3*eventsim.Second; ; {
+			gap := crng.ExpFloat64() / opts.CrashRate * float64(eventsim.Minute)
+			at += eventsim.Time(gap)
+			if at >= streamEnd-playout {
+				break
+			}
+			victim := transport.Addr(pool[crng.Intn(len(pool))])
+			f.CrashAt(at, victim)
+			f.RestartAt(at+opts.RestartDelay, victim)
+		}
+	}
+
+	// --- data plane ---
+	up := make([]float64, opts.Hosts)
+	down := make([]float64, opts.Hosts)
+	for h := 0; h < opts.Hosts; h++ {
+		up[h] = model.Up(h)
+		down[h] = model.Down(h)
+	}
+	plane := dataplane.NewPlane(f, up, down)
+	plane.Attach(opts.Hosts)
+	plane.Instrument(opts.Registry)
+	alive := func(h int) bool { return !f.Crashed(transport.Addr(h)) }
+	pumps := make([]*dataplane.Pump, len(sessions))
+	engine.At(pumpStart-eventsim.Millisecond, func() {
+		for i, s := range sessions {
+			s := s
+			treeOf := func() *alm.Tree {
+				if live := sv.Scheduler().Session(s.id); live != nil {
+					return live.Tree
+				}
+				return nil
+			}
+			p, err := plane.StartPump(int(s.id), s.root, s.members, treeOf, alive, pumpStart, dataplane.Config{
+				ChunkDur:      opts.ChunkDur,
+				BitrateKbps:   rung,
+				Playout:       playout,
+				Chunks:        opts.Chunks,
+				PullNeighbors: opts.PullNeighbors,
+				Seed:          opts.Seed*10000 + int64(idx)*100 + int64(i),
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			pumps[i] = p
+		}
+	})
+
+	engine.RunUntil(runEnd)
+	if firstErr != nil {
+		return StreamRow{}, fmt.Errorf("stream %s@%.0f: %w", cell, rung, firstErr)
+	}
+
+	// --- harvest ---
+	var bounds float64
+	var srcBytes, totBytes uint64
+	for i, s := range sessions {
+		if live := sv.Scheduler().Session(s.id); live != nil && live.Tree != nil {
+			row.Planned++
+		}
+		ups := make([]float64, len(s.members))
+		for j, m := range s.members {
+			ups[j] = model.Up(m)
+		}
+		bounds += dataplane.CapacityBound(model.Up(s.root), ups)
+		st := pumps[i].Finalize()
+		row.Expected += st.Expected
+		row.OnTimeTree += st.OnTimeTree
+		row.PullRecovered += st.PullRecovered
+		row.Late += st.Late
+		row.Lost += st.Lost
+		row.TreeMisses += st.TreeMisses
+		row.Duplicates += st.Duplicates
+		row.PullsSent += st.PullsSent
+		srcBytes += st.SourceTxBytes
+		totBytes += st.TotalTxBytes
+	}
+	row.BoundKbps = bounds / float64(len(sessions))
+	if row.Expected > 0 {
+		onTime := float64(row.OnTimeTree+row.PullRecovered) / float64(row.Expected)
+		row.DeliveredKbps = rung * onTime
+		row.MissRate = 1 - onTime
+	}
+	if row.TreeMisses > 0 {
+		row.PullSavedFrac = float64(row.PullRecovered) / float64(row.TreeMisses)
+	}
+	if totBytes > 0 {
+		row.SourceOffload = 1 - float64(srcBytes)/float64(totBytes)
+	}
+	row.Crashes = int(f.Counters().Crashes)
+	tot := sv.Scheduler().Totals()
+	row.Repairs = tot.Repairs
+	row.Replans = tot.Replans
+	if opts.Bench {
+		row.BenchWallMS = float64(time.Since(start).Milliseconds())
+	}
+	return row, nil
+}
+
+// Tables renders the streaming study.
+func (r *StreamResult) Tables() []Table {
+	delivered := Table{
+		Title: "Streaming: delivered bitrate vs the data-driven capacity bound",
+		Columns: []string{
+			"cell", "rung kbps", "bound kbps", "delivered kbps", "miss rate",
+			"offload", "planned", "crashes", "repairs",
+		},
+		Note: fmt.Sprintf("%d sessions x %d members over %d hosts, %d chunks of %.1fs; bound = "+
+			"min(up_src, (up_src + sum up_i)/n) over members only (Chakareski et al.) — helpers from "+
+			"the pool add uplink the bound does not see, so delivered above bound is the pool's "+
+			"contribution; offload = 1 - source bytes / total bytes",
+			r.Opts.Sessions, r.Opts.GroupSize, r.Opts.Hosts, r.Opts.Chunks,
+			float64(r.Opts.ChunkDur)/1000),
+	}
+	attrib := Table{
+		Title: "Streaming: deadline-miss attribution (tree miss partition)",
+		Columns: []string{
+			"cell", "rung kbps", "expected", "tree ok", "tree miss",
+			"pull-rec %", "late %", "lost %", "pulls", "dups",
+		},
+		Note: fmt.Sprintf("every expected (member, chunk) pair lands in exactly one bucket; "+
+			"pull-rec/late/lost partition the tree misses (sum 100%%); live cells run a %.0fs "+
+			"playout buffer, vod %.0fs; churn cells crash %.0f members/min (restart after %.0fs, "+
+			"detected in %.1fs) — mesh-pull (%d seeded neighbors) recovers what the tree drops",
+			float64(r.Opts.PlayoutLive)/1000, float64(r.Opts.PlayoutVoD)/1000,
+			r.Opts.CrashRate, float64(r.Opts.RestartDelay)/1000,
+			float64(r.Opts.DetectDelay)/1000, r.Opts.PullNeighbors),
+	}
+	pct := func(part, whole int) string {
+		if whole == 0 {
+			return f1(0)
+		}
+		return f1(100 * float64(part) / float64(whole))
+	}
+	for _, row := range r.Rows {
+		delivered.Rows = append(delivered.Rows, []string{
+			row.Cell, f1(row.RungKbps), f1(row.BoundKbps), f1(row.DeliveredKbps),
+			f3(row.MissRate), f3(row.SourceOffload), d(row.Planned),
+			d(row.Crashes), d(row.Repairs),
+		})
+		attrib.Rows = append(attrib.Rows, []string{
+			row.Cell, f1(row.RungKbps), d(row.Expected), d(row.OnTimeTree), d(row.TreeMisses),
+			pct(row.PullRecovered, row.TreeMisses), pct(row.Late, row.TreeMisses),
+			pct(row.Lost, row.TreeMisses), d(row.PullsSent), d(row.Duplicates),
+		})
+	}
+	return []Table{delivered, attrib}
+}
+
+// streamBenchFile is the BENCH_stream.json schema, version
+// bench-stream/v1:
+//
+//	{
+//	  "schema": "bench-stream/v1",
+//	  "runs": [{
+//	    "label": "pr8",              // which PR/state produced the rows
+//	    "seed": 1, "hosts": 8000, "sessions": 6, "chunks": 45,
+//	    "rows": [{
+//	      "cell": "live",            // scenario cell
+//	      "rung_kbps": 600,          // ladder rung
+//	      "bound_kbps": 0,           // member-only capacity bound
+//	      "delivered_kbps": 0,       // rung x on-time fraction
+//	      "miss_rate": 0,            // 1 - on-time fraction
+//	      "pull_saved": 0,           // tree misses recovered by mesh-pull
+//	      "offload": 0,              // 1 - source bytes / total bytes
+//	      "wall_ms": 0               // run wall time
+//	    }, ...]
+//	  }, ...]
+//	}
+//
+// Each bench invocation appends (or replaces) one labeled run,
+// mirroring the bench-load/v1 convention.
+type streamBenchFile struct {
+	Schema string           `json:"schema"`
+	Runs   []streamBenchRun `json:"runs"`
+}
+
+type streamBenchRun struct {
+	Label    string           `json:"label"`
+	Seed     int64            `json:"seed"`
+	Hosts    int              `json:"hosts"`
+	Sessions int              `json:"sessions"`
+	Chunks   int              `json:"chunks"`
+	Rows     []streamBenchRow `json:"rows"`
+}
+
+type streamBenchRow struct {
+	Cell          string  `json:"cell"`
+	RungKbps      float64 `json:"rung_kbps"`
+	BoundKbps     float64 `json:"bound_kbps"`
+	DeliveredKbps float64 `json:"delivered_kbps"`
+	MissRate      float64 `json:"miss_rate"`
+	PullSaved     float64 `json:"pull_saved"`
+	Offload       float64 `json:"offload"`
+	WallMS        float64 `json:"wall_ms"`
+}
+
+// AppendBenchJSON merges this result into an existing BENCH_stream.json
+// (existing may be nil/empty for a fresh file) as a run labeled label,
+// replacing any previous run with the same label. Call on a result
+// produced with StreamOptions.Bench set for wall-clock fields.
+func (r *StreamResult) AppendBenchJSON(existing []byte, label string) ([]byte, error) {
+	if label == "" {
+		label = "dev"
+	}
+	f := streamBenchFile{Schema: "bench-stream/v1"}
+	if len(existing) > 0 {
+		if err := json.Unmarshal(existing, &f); err != nil {
+			return nil, fmt.Errorf("experiments: parsing stream bench file: %w", err)
+		}
+		if f.Schema != "bench-stream/v1" {
+			return nil, fmt.Errorf("experiments: unknown stream bench schema %q", f.Schema)
+		}
+	}
+	run := streamBenchRun{
+		Label:    label,
+		Seed:     r.Opts.Seed,
+		Hosts:    r.Opts.Hosts,
+		Sessions: r.Opts.Sessions,
+		Chunks:   r.Opts.Chunks,
+	}
+	for _, row := range r.Rows {
+		run.Rows = append(run.Rows, streamBenchRow{
+			Cell:          row.Cell,
+			RungKbps:      row.RungKbps,
+			BoundKbps:     row.BoundKbps,
+			DeliveredKbps: row.DeliveredKbps,
+			MissRate:      row.MissRate,
+			PullSaved:     row.PullSavedFrac,
+			Offload:       row.SourceOffload,
+			WallMS:        row.BenchWallMS,
+		})
+	}
+	kept := f.Runs[:0]
+	for _, old := range f.Runs {
+		if old.Label != label {
+			kept = append(kept, old)
+		}
+	}
+	f.Runs = append(kept, run)
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/obs"
+)
+
+// smallStream is a fast configuration that still exercises every moving
+// part: planning from bandwidth estimates, access-link contention, live
+// routing swaps under churn, and mesh-pull recovery.
+func smallStream(seed int64) StreamOptions {
+	return StreamOptions{
+		Hosts:     600,
+		Sessions:  3,
+		GroupSize: 20,
+		Chunks:    15,
+		Rungs:     []float64{300, 700},
+		Cells:     []string{"live", "live-churn"},
+		Leafset:   8,
+		// ~2x the default churn intensity, and restarts fast enough to
+		// land inside the short stream: a restarted member is alive
+		// (expected) but stripped from the session's tree, so its
+		// remaining chunks are exactly the mesh-pull path the recovery
+		// assertions measure.
+		CrashRate:    50,
+		RestartDelay: 4 * eventsim.Second,
+		Seed:         seed,
+	}
+}
+
+// TestStreamAttributionPartitions: every expected (member, chunk) pair
+// must land in exactly one outcome bucket, and the tree-miss
+// attribution must partition the misses — the acceptance bar for the
+// study's headline table.
+func TestStreamAttributionPartitions(t *testing.T) {
+	res, err := Stream(smallStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 2 cells x 2 rungs", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Planned == 0 {
+			t.Errorf("%s@%.0f: no session ever obtained a tree", row.Cell, row.RungKbps)
+		}
+		if row.Expected == 0 {
+			t.Errorf("%s@%.0f: zero expected chunks — pump never ran", row.Cell, row.RungKbps)
+			continue
+		}
+		if got := row.OnTimeTree + row.PullRecovered + row.Late + row.Lost; got != row.Expected {
+			t.Errorf("%s@%.0f: outcomes sum to %d, want Expected=%d",
+				row.Cell, row.RungKbps, got, row.Expected)
+		}
+		if got := row.PullRecovered + row.Late + row.Lost; got != row.TreeMisses {
+			t.Errorf("%s@%.0f: miss attribution sums to %d, want TreeMisses=%d",
+				row.Cell, row.RungKbps, got, row.TreeMisses)
+		}
+		if row.DeliveredKbps <= 0 {
+			t.Errorf("%s@%.0f: delivered %.1f kbps — nothing arrived on time",
+				row.Cell, row.RungKbps, row.DeliveredKbps)
+		}
+		if row.BoundKbps <= 0 {
+			t.Errorf("%s@%.0f: capacity bound %.1f", row.Cell, row.RungKbps, row.BoundKbps)
+		}
+		if row.MissRate < 0 || row.MissRate > 1 {
+			t.Errorf("%s@%.0f: miss rate %.3f outside [0,1]", row.Cell, row.RungKbps, row.MissRate)
+		}
+		if row.SourceOffload <= 0 {
+			t.Errorf("%s@%.0f: offload %.3f — relays forwarded nothing",
+				row.Cell, row.RungKbps, row.SourceOffload)
+		}
+	}
+}
+
+// TestStreamChurnRecoversViaPull: the churn cell must actually crash
+// streaming members, and mesh-pull must recover a nonzero share of the
+// resulting tree misses — the contract distinguishing the hybrid
+// design from tree-only delivery.
+func TestStreamChurnRecoversViaPull(t *testing.T) {
+	res, err := Stream(smallStream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rung := range res.Opts.Rungs {
+		calm := res.Row("live", rung)
+		churn := res.Row("live-churn", rung)
+		if calm == nil || churn == nil {
+			t.Fatalf("missing rows at rung %.0f", rung)
+		}
+		if calm.Crashes != 0 {
+			t.Errorf("live@%.0f: %d crashes in the churn-free cell", rung, calm.Crashes)
+		}
+		if churn.Crashes == 0 {
+			t.Errorf("live-churn@%.0f: churn cell crashed nobody", rung)
+		}
+		if churn.TreeMisses == 0 {
+			t.Errorf("live-churn@%.0f: churn produced zero tree misses", rung)
+		} else if churn.PullRecovered == 0 {
+			t.Errorf("live-churn@%.0f: mesh-pull recovered none of %d tree misses",
+				rung, churn.TreeMisses)
+		}
+		if churn.Repairs == 0 {
+			t.Errorf("live-churn@%.0f: control plane repaired nothing under churn", rung)
+		}
+	}
+}
+
+// TestStreamObserverEffectZero: instrumentation observes the data
+// plane, never steers it.
+func TestStreamObserverEffectZero(t *testing.T) {
+	opts := smallStream(3)
+	opts.Cells = []string{"live-churn"}
+	bare, err := Stream(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	opts.Registry = reg
+	opts.Workers = 1
+	instrumented, err := Stream(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare.Rows, instrumented.Rows) {
+		t.Errorf("instrumentation changed the run:\n bare: %+v\n instrumented: %+v",
+			bare.Rows[0], instrumented.Rows[0])
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters) == 0 {
+		t.Error("instrumented run recorded no metrics")
+	}
+}
+
+// TestStreamBenchJSON: the labeled-run append format — fresh file,
+// replace-by-label, a second label accumulating, foreign schema
+// rejected.
+func TestStreamBenchJSON(t *testing.T) {
+	opts := smallStream(4)
+	opts.Cells = []string{"live"}
+	opts.Rungs = []float64{300}
+	opts.Bench = true
+	res, err := Stream(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := res.AppendBenchJSON(nil, "pr8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": "bench-stream/v1"`, `"label": "pr8"`, `"cell": "live"`, `"rung_kbps": 300`} {
+		if !strings.Contains(string(first), want) {
+			t.Errorf("bench JSON missing %s:\n%s", want, first)
+		}
+	}
+	replaced, err := res.AppendBenchJSON(first, "pr8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(replaced), `"label"`); n != 1 {
+		t.Errorf("re-appending the same label kept %d runs, want 1", n)
+	}
+	both, err := res.AppendBenchJSON(replaced, "pr9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(both), `"label"`); n != 2 {
+		t.Errorf("appending a second label kept %d runs, want 2", n)
+	}
+	if _, err := res.AppendBenchJSON([]byte(`{"schema":"bench-load/v1"}`), "x"); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}

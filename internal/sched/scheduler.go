@@ -217,6 +217,12 @@ func (sc *Scheduler) Sessions() []*Session {
 	return out
 }
 
+// Session returns the live session with the given ID, or nil when the
+// session is not currently planned (queued, shed, or never submitted).
+// The data plane reads its routing through this: holding the returned
+// pointer and re-reading s.Tree picks up repairs and replans live.
+func (sc *Scheduler) Session(id SessionID) *Session { return sc.sessions[id] }
+
 // DirtySessions returns the IDs currently marked for replan, sorted.
 // A dirty session's tree and reservations are transiently stale until
 // the next Stabilize; invariant audits use this to scope their

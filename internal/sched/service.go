@@ -94,6 +94,21 @@ type ServiceConfig struct {
 }
 
 func (c ServiceConfig) withDefaults() ServiceConfig {
+	// The backoff defaults are tuned to the default admit deadlines: the
+	// lowest class's 8 s window fits a full retry budget at 500ms/8s.
+	// When a harness overrides the deadlines but not the backoff, the
+	// defaults are rescaled by the same factor — otherwise a, say,
+	// 8x-deadline config burns its retry budget in the first eighth of
+	// every SLO window and sheds sessions that still had time, which
+	// under contention inverts priority order (the top class's
+	// compressed schedule exhausts first). Explicit BackoffBase/Max
+	// always win; the scale keys on the lowest class because that is the
+	// window the per-class compression in backoff() divides against.
+	backoffScale := 1.0
+	if low := c.Classes[NumClasses].AdmitDeadline; low > 0 {
+		defaultLow := eventsim.Time(uint(1)<<uint(NumClasses)) * eventsim.Second
+		backoffScale = float64(low) / float64(defaultLow)
+	}
 	for p := 1; p <= NumClasses; p++ {
 		if c.Classes[p].AdmitDeadline <= 0 {
 			// Looser SLOs down the priority ladder: 2s / 4s / 8s.
@@ -110,10 +125,16 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 		c.RetryBudget = 3
 	}
 	if c.BackoffBase <= 0 {
-		c.BackoffBase = 500 * eventsim.Millisecond
+		c.BackoffBase = eventsim.Time(float64(500*eventsim.Millisecond) * backoffScale)
+		if c.BackoffBase < eventsim.Millisecond {
+			c.BackoffBase = eventsim.Millisecond
+		}
 	}
 	if c.BackoffMax <= 0 {
-		c.BackoffMax = 8 * eventsim.Second
+		c.BackoffMax = eventsim.Time(float64(8*eventsim.Second) * backoffScale)
+		if c.BackoffMax < 2*eventsim.Millisecond {
+			c.BackoffMax = 2 * eventsim.Millisecond
+		}
 	}
 	if c.BackoffJitter == 0 {
 		c.BackoffJitter = 0.2

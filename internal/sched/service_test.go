@@ -212,6 +212,70 @@ func TestServiceShedsLowestPriorityFirst(t *testing.T) {
 	}
 }
 
+// TestServiceBackoffRescalesWithDeadlines pins the withDefaults
+// coupling fix: a config that overrides the admit deadlines (8x the
+// defaults here) but leaves the backoff unset must get the backoff
+// defaults rescaled by the same factor. Pre-fix the top class's
+// compressed schedule burned its whole retry budget in the first
+// fraction of its 16 s SLO window and self-shed, while the bottom
+// class's slower schedule retried after the contention cleared and was
+// admitted — a priority inversion.
+//
+// Topology (lineLat, bounds {1,1,1,1}): host 1 has the only contended
+// slot. A P1 blocker (root 0, member 1) holds it at member priority —
+// which neither contender's member priority can preempt, and which
+// lowestPriorityVictim cannot shed for the P1 contender (same class) —
+// until it departs at 1.5 s. The P1 contender (root 2, member 1) and P3
+// contender (root 3, member 1) then race their backoff schedules for
+// the freed slot.
+func TestServiceBackoffRescalesWithDeadlines(t *testing.T) {
+	cfg := ServiceConfig{
+		PreemptRate:   -1,
+		HoldDown:      -1,
+		BackoffJitter: -1, // deterministic schedule; backoff itself left unset
+	}
+	for p := 1; p <= NumClasses; p++ {
+		cfg.Classes[p].AdmitDeadline = 8 * eventsim.Time(uint(1)<<uint(p)) * eventsim.Second
+	}
+	sv := NewService([]int{1, 1, 1, 1}, lineLat, cfg)
+
+	blocker := &Session{ID: 1, Priority: 1, Root: 0, Members: []int{1}}
+	if _, err := sv.Submit(0, blocker); err != nil {
+		t.Fatal(err)
+	}
+	hi := &Session{ID: 2, Priority: 1, Root: 2, Members: []int{1}}
+	lo := &Session{ID: 3, Priority: 3, Root: 3, Members: []int{1}}
+	for _, s := range []*Session{hi, lo} {
+		if _, err := sv.Submit(150*eventsim.Millisecond, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for now := eventsim.Time(100 * eventsim.Millisecond); now <= 10*eventsim.Second; now += 100 * eventsim.Millisecond {
+		if now == 1500*eventsim.Millisecond {
+			sv.EndSession(blocker.ID)
+		}
+		if err := sv.Tick(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := sv.Stats()
+	hiLive := sv.Scheduler().Session(hi.ID) != nil
+	loLive := sv.Scheduler().Session(lo.ID) != nil
+	if st.Class[1].ShedBudget != 0 {
+		t.Errorf("P1 contender shed on retry budget inside its 16 s SLO window (P3 admitted=%v): backoff not rescaled with deadlines", loLive)
+	}
+	if !hiLive {
+		t.Errorf("P1 contender not live after contention cleared; class 1 stats %+v", st.Class[1])
+	}
+	if st.Class[1].Admitted != 2 {
+		t.Errorf("class 1 Admitted = %d, want 2 (blocker + contender)", st.Class[1].Admitted)
+	}
+	if err := sv.sc.reg.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestServiceDampingGuard unit-tests the token bucket and hold-down
 // through the planContext the service hands the scheduler.
 func TestServiceDampingGuard(t *testing.T) {
