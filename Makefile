@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-json profile chaos obs scale audit load stream ci
+.PHONY: all build test race vet bench bench-json profile chaos obs scale audit load stream conf ci
 
 all: build
 
@@ -64,6 +64,19 @@ load:
 stream:
 	$(GO) run ./cmd/experiments -fig stream -seed 1
 
+# Conferencing study: M-member sessions where every member is a source,
+# so the scheduler plans M trees per session against one shared per-host
+# capacity ledger and each source pumps its own chunk sequence under
+# shared access-link contention. Cells sweep solo vs market (competing
+# single-source broadcasts) and churn on/off (restarted members rejoin
+# via AddMember + AddSource); per-source delivered bitrate is reported
+# against the shared member-only bound sum(up)/(M*(M-1)). Continuous
+# invariant sweeps audit the shared ledger; exits nonzero on any
+# violation. Opt-in (never part of "all"); same seed => byte-identical
+# output for any -workers.
+conf:
+	$(GO) run ./cmd/experiments -fig conf -seed 1
+
 # Machine-readable bench trajectories: the scale study's per-size wall
 # time, allocations, events/sec, live heap and OS peak RSS appended to
 # BENCH_scale.json (schema bench-scale/v2, documented in
@@ -72,15 +85,19 @@ stream:
 # documented in internal/experiments/load.go), and the stream study's
 # per-(cell, rung) delivered bitrate, miss rate and wall time appended
 # to BENCH_stream.json (schema bench-stream/v1, documented in
-# internal/experiments/stream.go) — all as labeled runs so the files
+# internal/experiments/stream.go), and the conferencing study's
+# per-cell delivered bitrate vs the shared member-only bound appended
+# to BENCH_conf.json (schema bench-conf/v1, documented in
+# internal/experiments/conf.go) — all as labeled runs so the files
 # accumulate the per-PR history. Cells run sequentially so the
 # measurements are honest. Override the label with
 # `make bench-json BENCH_LABEL=mybranch`.
-BENCH_LABEL ?= pr8
+BENCH_LABEL ?= pr10
 bench-json:
 	$(GO) run ./cmd/experiments -fig scale -seed 1 -benchjson BENCH_scale.json -bench-label $(BENCH_LABEL)
 	$(GO) run ./cmd/experiments -fig load -seed 1 -benchjson BENCH_load.json -bench-label $(BENCH_LABEL)
 	$(GO) run ./cmd/experiments -fig stream -seed 1 -benchjson BENCH_stream.json -bench-label $(BENCH_LABEL)
+	$(GO) run ./cmd/experiments -fig conf -seed 1 -benchjson BENCH_conf.json -bench-label $(BENCH_LABEL)
 
 # CPU+heap profiles of the full figure set; inspect with
 # `go tool pprof cpu.pprof`.
@@ -103,7 +120,11 @@ profile:
 # pool under the race detector; it too exits nonzero on any invariant
 # violation. The stream smoke pushes 10 chunks of payload down planned
 # trees on a 900-host pool under the race detector — the full
-# plan -> pump -> contention -> pull path end to end.
+# plan -> pump -> contention -> pull path end to end. The conf smoke
+# runs the multi-source grain the same way: M trees per conference on
+# one shared ledger, concurrent per-source pumps, market competition
+# and churn rejoins, with the continuous ledger sweeps arming the
+# nonzero exit on any conservation violation.
 ci: build vet test race
 	$(GO) run ./cmd/experiments -fig obs -seed 1 > /dev/null
 	$(GO) test -bench=. -benchtime=1x -run '^$$' . > /dev/null
@@ -112,3 +133,4 @@ ci: build vet test race
 	$(GO) run -race ./cmd/experiments -fig audit -seed 1 > /dev/null
 	$(GO) run -race ./cmd/experiments -fig load -hosts 300 -load-runtime 45 -seed 1 > /dev/null
 	$(GO) run -race ./cmd/experiments -fig stream -hosts 900 -stream-chunks 10 -seed 1 > /dev/null
+	$(GO) run -race ./cmd/experiments -fig conf -hosts 900 -conf-chunks 10 -seed 1 > /dev/null

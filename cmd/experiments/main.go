@@ -23,7 +23,11 @@
 // damping under sustained arrivals; opt-in like obs/scale/audit),
 // stream (chunk-level media delivery over the planned trees: bitrate
 // ladder, live vs VoD deadlines, churn and mesh-pull recovery,
-// delivered bitrate vs the member-only capacity bound; opt-in).
+// delivered bitrate vs the member-only capacity bound; opt-in),
+// conf (multi-source conferencing: M trees per session against one
+// shared capacity ledger, per-source delivery vs the shared
+// member-only bound, market competition from broadcasts, churn with
+// AddSource rejoins; opt-in).
 package main
 
 import (
@@ -42,7 +46,7 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all, or obs/scale/audit/load/stream (not part of all)")
+		fig     = flag.String("fig", "all", "which figure to regenerate: 4, 5, 8, 10, somo, churn, chaos, ablations, all, or obs/scale/audit/load/stream/conf (not part of all)")
 		seed    = flag.Int64("seed", 1, "experiment seed (same seed => identical output)")
 		runs    = flag.Int("runs", 0, "override repetition count (0 = experiment default)")
 		hosts   = flag.Int("hosts", 0, "override pool size (0 = paper default 1200)")
@@ -57,6 +61,7 @@ func main() {
 		scaleRT      = flag.Int("scale-runtime", 0, "scale figure: simulated seconds per ring (0 = default 60)")
 		loadRT       = flag.Int("load-runtime", 0, "load figure: simulated seconds per cell (0 = default 600)")
 		streamChunks = flag.Int("stream-chunks", 0, "stream figure: chunks per run (0 = default 45)")
+		confChunks   = flag.Int("conf-chunks", 0, "conf figure: chunks per source (0 = default 30)")
 	)
 	flag.Parse()
 
@@ -297,8 +302,45 @@ func main() {
 			break
 		}
 	}
+	for _, w := range want {
+		if w == "conf" {
+			opts := experiments.ConfOptions{
+				Hosts:   *hosts,
+				Chunks:  *confChunks,
+				Seed:    *seed,
+				Workers: *workers,
+				Bench:   *benchJSON != "",
+			}
+			run("conf study", func() (experiments.Result, error) {
+				res, err := experiments.Conf(opts)
+				if err != nil {
+					return nil, err
+				}
+				if n := res.ViolationCount(); n > 0 {
+					fmt.Fprintf(os.Stderr, "conf: %d invariant violation(s)\n", n)
+					exitCode = 1
+				}
+				if *benchJSON != "" {
+					existing, err := os.ReadFile(*benchJSON)
+					if err != nil && !os.IsNotExist(err) {
+						return nil, err
+					}
+					out, err := res.AppendBenchJSON(existing, *benchLabel)
+					if err != nil {
+						return nil, err
+					}
+					if err := os.WriteFile(*benchJSON, out, 0o644); err != nil {
+						return nil, err
+					}
+					fmt.Fprintf(os.Stderr, "wrote %s (run %q)\n", *benchJSON, *benchLabel)
+				}
+				return res, nil
+			})
+			break
+		}
+	}
 	if len(results) == 0 {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, obs, scale, audit, load, stream, all)\n", *fig)
+		fmt.Fprintf(os.Stderr, "unknown figure %q (want 4, 5, 8, 10, somo, churn, chaos, ablations, obs, scale, audit, load, stream, conf, all)\n", *fig)
 		os.Exit(2)
 	}
 

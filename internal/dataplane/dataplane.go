@@ -190,7 +190,11 @@ type Config struct {
 	// BitrateKbps * ChunkDur / 8 bytes.
 	BitrateKbps float64
 	// Playout is the per-chunk deadline after emission (a live session
-	// runs ~3 s of client buffer, VoD can run much more). Default 3 s.
+	// runs ~3 s of client buffer, VoD can run much more). Default
+	// 3 * ChunkDur (3 s at the default chunk): a playout buffer is a
+	// number of chunks, so a harness that lengthens chunks without
+	// setting Playout gets a proportionally longer window rather than a
+	// deadline shorter than one or two chunk transfers.
 	Playout eventsim.Time
 	// Chunks is how many chunks the source emits (required).
 	Chunks int
@@ -222,7 +226,13 @@ func (c Config) withDefaults() Config {
 		c.ChunkDur = eventsim.Second
 	}
 	if c.Playout <= 0 {
-		c.Playout = 3 * eventsim.Second
+		// Derived from the configured chunk, not a fixed 3 s: every
+		// downstream pull default (PullStart = 60% of Playout, retries
+		// inside the remaining window) is tuned as a fraction of the
+		// chunk timescale, and a fixed default under, say, a 4x chunk
+		// override would start pulls before the tree's first-hop
+		// transfer of a chunk can even finish.
+		c.Playout = 3 * c.ChunkDur
 	}
 	if c.PullNeighbors < 0 {
 		c.PullNeighbors = 0

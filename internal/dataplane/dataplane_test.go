@@ -210,3 +210,37 @@ func TestCapacityBound(t *testing.T) {
 		t.Fatalf("no-receiver bound = %v, want 700", got)
 	}
 }
+
+func TestPumpPullDefaultsScaleWithChunkDuration(t *testing.T) {
+	// Regression: Playout (and with it PullStart = 60% of Playout) must
+	// derive from the configured ChunkDur. With a 4x chunk override
+	// (4 s chunks at 500 kbps = 250 KB) and a 1200 kbps source uplink
+	// fanned out to two children, each first-hop transfer needs ~3.4 s
+	// — comfortably inside one 4 s chunk interval. Under the old fixed
+	// 3 s Playout default every chunk was declared late and pulls fired
+	// at 1.8 s, before the tree had any chance to deliver; with Playout
+	// = 3 * ChunkDur = 12 s the tree delivers everything and the mesh
+	// stays silent.
+	engine, pl := world(t, 3, 1200, 100000)
+	tr := alm.NewTree(0)
+	tr.Attach(1, 0)
+	tr.Attach(2, 0)
+	p, err := pl.StartPump(1, 0, []int{1, 2}, func() *alm.Tree { return tr }, nil, 0, Config{
+		BitrateKbps: 500, ChunkDur: 4 * eventsim.Second, Chunks: 8,
+		PullNeighbors: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.RunUntil(120 * eventsim.Second)
+	st := p.Finalize()
+	if st.Expected != 16 {
+		t.Fatalf("Expected = %d, want 16 (2 members x 8 chunks)", st.Expected)
+	}
+	if st.PullsSent != 0 {
+		t.Fatalf("PullsSent = %d: pulls fired before the tree could deliver a 4x chunk", st.PullsSent)
+	}
+	if st.OnTimeTree != st.Expected {
+		t.Fatalf("outcomes %+v, want every chunk on time via the tree", st)
+	}
+}

@@ -1,0 +1,886 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"p2ppool/internal/alm"
+	"p2ppool/internal/dataplane"
+	"p2ppool/internal/eventsim"
+	"p2ppool/internal/faultnet"
+	"p2ppool/internal/invariant"
+	"p2ppool/internal/obs"
+	"p2ppool/internal/par"
+	"p2ppool/internal/sched"
+	"p2ppool/internal/transport"
+)
+
+// ConfOptions parameterizes the conferencing study: M-member sessions
+// in which every member is a source, so the scheduler plans M trees per
+// session against one shared per-host capacity ledger and the data
+// plane pumps M concurrent chunk sequences through the same access
+// links. The member-only capacity bound becomes much tighter than in
+// single-source streaming — M sources share the roster's total uplink,
+// so each can count on only sum(up_i) / (M*(M-1)) — which is exactly
+// where pool helpers earn their keep. Market cells add single-source
+// broadcasts competing for the same hosts; churn cells crash conference
+// members mid-call and rejoin them through the AddMember + AddSource
+// control path when they restart.
+type ConfOptions struct {
+	// Hosts is the pool size; conferences, broadcasts and helpers all
+	// draw from it.
+	Hosts int
+	// Conferences is how many concurrent conferences run; ConfSize is
+	// each conference's size including the root, and every member is a
+	// source.
+	Conferences int
+	ConfSize    int
+	// Broadcasts / BroadcastSize shape the competing single-source
+	// sessions that market cells submit at the lowest priority class.
+	Broadcasts    int
+	BroadcastSize int
+	// Chunks is each source's stream length in chunks; ChunkDur the
+	// chunk duration.
+	Chunks   int
+	ChunkDur eventsim.Time
+	// SourceKbps is every source's bitrate (one fixed rung: a
+	// conference mixes voices, it does not ladder-switch).
+	SourceKbps float64
+	// Cells selects the scenario cells; defaults to all four: "solo"
+	// (conferences only), "solo-churn", "market" (conferences plus
+	// competing broadcasts), "market-churn".
+	Cells []string
+	// Playout is the per-chunk deadline after emission.
+	Playout eventsim.Time
+	// PullNeighbors is each member's seeded mesh-neighbor count; 0
+	// disables mesh-pull.
+	PullNeighbors int
+	// Leafset is the estimation leafset size for the Section 4.2
+	// bandwidth estimates that drive planning degrees.
+	Leafset int
+	// CrashRate is the churn intensity in crashes per virtual minute
+	// (churn cells only), drawn over non-root conference members.
+	// RestartDelay is the downtime; DetectDelay the crash-to-NodeFailed
+	// detection lag.
+	CrashRate    float64
+	RestartDelay eventsim.Time
+	DetectDelay  eventsim.Time
+	// TickEvery is the control plane's Tick period; SweepEvery the
+	// invariant-sweep interval.
+	TickEvery  eventsim.Time
+	SweepEvery eventsim.Time
+	Seed       int64
+	// Workers bounds the parallelism; <= 0 means runtime.NumCPU(). The
+	// output is identical for any worker count.
+	Workers int
+	// Bench enables wall-clock measurement (runs then execute
+	// sequentially so the readings are attributable).
+	Bench bool
+	// Registry, when set, instruments every run's service, fault layer
+	// and data plane. Handles are not synchronized: share a registry
+	// across runs only with Workers = 1.
+	Registry *obs.Registry
+}
+
+func (o ConfOptions) withDefaults() ConfOptions {
+	if o.Hosts <= 0 {
+		o.Hosts = 8000
+	}
+	if o.Conferences <= 0 {
+		o.Conferences = 4
+	}
+	if o.ConfSize <= 0 {
+		o.ConfSize = 6
+	}
+	if o.Broadcasts <= 0 {
+		o.Broadcasts = 3
+	}
+	if o.BroadcastSize <= 0 {
+		o.BroadcastSize = 40
+	}
+	if o.Chunks <= 0 {
+		o.Chunks = 30
+	}
+	if o.ChunkDur <= 0 {
+		o.ChunkDur = eventsim.Second
+	}
+	if o.SourceKbps <= 0 {
+		// Against the Gnutella mixture's ~1.1 Mbps mean member uplink a
+		// 6-way conference's shared member-only bound is ~1100/(6-1) =
+		// 220 kbps per source: 250 sits just above it, so beating the
+		// bound requires uplink the roster does not have — helpers.
+		o.SourceKbps = 250
+	}
+	if len(o.Cells) == 0 {
+		o.Cells = []string{"solo", "solo-churn", "market", "market-churn"}
+	}
+	if o.Playout <= 0 {
+		o.Playout = 3 * eventsim.Second
+	}
+	if o.PullNeighbors <= 0 {
+		o.PullNeighbors = 4
+	}
+	if o.Leafset <= 0 {
+		o.Leafset = 16
+	}
+	if o.CrashRate <= 0 {
+		o.CrashRate = 18
+	}
+	if o.RestartDelay <= 0 {
+		o.RestartDelay = 8 * eventsim.Second
+	}
+	if o.DetectDelay <= 0 {
+		o.DetectDelay = 800 * eventsim.Millisecond
+	}
+	if o.TickEvery <= 0 {
+		o.TickEvery = 250 * eventsim.Millisecond
+	}
+	if o.SweepEvery <= 0 {
+		o.SweepEvery = 5 * eventsim.Second
+	}
+	return o
+}
+
+// confChurn reports whether a cell runs member churn; confMarket
+// whether it submits competing broadcasts.
+func confChurn(cell string) bool  { return cell == "solo-churn" || cell == "market-churn" }
+func confMarket(cell string) bool { return cell == "market" || cell == "market-churn" }
+
+// ConfRow is one cell's outcome. Everything except the Bench field is a
+// pure function of the seed (worker-independent).
+type ConfRow struct {
+	Cell string
+	// ConfTrees counts planned (session, source) trees at harvest;
+	// Sources is how many were submitted.
+	Sources   int
+	ConfTrees int
+	// Outcome partition over the conferences' expected (member, chunk)
+	// pairs, summed across every source pump.
+	Expected      int
+	OnTimeTree    int
+	PullRecovered int
+	Late          int
+	Lost          int
+	TreeMisses    int
+	PullsSent     int
+	Duplicates    int
+	// DeliveredKbps = rung x on-time fraction over all conference
+	// pairs; MinSrcKbps / MaxSrcKbps bracket the per-source delivered
+	// rates (a conference is only as good as its worst voice).
+	DeliveredKbps float64
+	MinSrcKbps    float64
+	MaxSrcKbps    float64
+	MissRate      float64
+	// SharedBoundKbps is the conference-mean shared member-only bound
+	// sum(up_i) / (M*(M-1)): M sources each feeding M-1 receivers from
+	// the roster's own uplink. IsoBoundKbps is the mean single-source
+	// bound (Chakareski et al.) the same source would see with the
+	// whole roster uplink to itself — the gap between the two is what
+	// multi-sourcing costs.
+	SharedBoundKbps float64
+	IsoBoundKbps    float64
+	// MaxHeightMS / MeanHeightMS summarize per-source-tree latency
+	// bounds (planning metric) across all planned conference trees.
+	MaxHeightMS  float64
+	MeanHeightMS float64
+	// Helpers sums distinct recruited helpers across conferences.
+	Helpers int
+	// Broadcast side (market cells only).
+	BcastPlanned       int
+	BcastDeliveredKbps float64
+	BcastMissRate      float64
+	// Control-plane activity.
+	Crashes int
+	Rejoins int
+	Repairs int
+	Replans int
+	// Violations counts invariant-sweep violations; FirstViolation is
+	// the earliest one's rendering (empty when clean).
+	Violations     int
+	FirstViolation string
+
+	// BenchWallMS is filled only when ConfOptions.Bench is set.
+	BenchWallMS float64 `json:"wall_ms"`
+}
+
+// ConfResult is the conferencing study.
+type ConfResult struct {
+	Opts ConfOptions
+	Rows []ConfRow
+}
+
+// Row returns the named cell's row (nil when absent).
+func (r *ConfResult) Row(cell string) *ConfRow {
+	for i := range r.Rows {
+		if r.Rows[i].Cell == cell {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// ViolationCount returns the total invariant violations across cells —
+// the study passes iff it is zero.
+func (r *ConfResult) ViolationCount() int {
+	n := 0
+	for _, row := range r.Rows {
+		n += row.Violations
+	}
+	return n
+}
+
+// Conf runs the conferencing study: every cell an independent seeded
+// world.
+func Conf(opts ConfOptions) (*ConfResult, error) {
+	opts = opts.withDefaults()
+	if opts.ConfSize < 2 {
+		return nil, fmt.Errorf("experiments: conference size %d < 2", opts.ConfSize)
+	}
+	workers := opts.Workers
+	if opts.Bench {
+		workers = 1
+	}
+	rows, err := par.MapErr(workers, len(opts.Cells), func(i int) (ConfRow, error) {
+		return confRun(i, opts.Cells[i], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ConfResult{Opts: opts, Rows: rows}, nil
+}
+
+// confDegrees converts uplink estimates into per-host degree bounds at
+// the conference rung. Pool hosts get the streaming rule — uplink over
+// 1.3x the rung plus one parent-link slot, clamped to [1, 16] — so
+// helper recruitment only sees hosts whose uplink genuinely carries
+// their slot count. Conference members get ConfSize-2 slots on top,
+// because a member of an M-way conference spends M-1 slots on parent
+// links alone (one per fellow source's tree; the base rule's +1 covers
+// the first) before it forwards a single chunk. Granting that headroom
+// to everyone would be wrong twice over: thin-uplink pool hosts would
+// pass the helper degree filter and melt as relays, and members would
+// be packed with child flows their uplink cannot carry. The extra
+// member slots are planning headroom only; the contention physics
+// still runs on measured capacity, so provisioning cannot manufacture
+// bandwidth.
+func confDegrees(est []float64, member map[int]bool, m int, rungKbps float64) []int {
+	out := make([]int, len(est))
+	for i, up := range est {
+		d := int(up/(1.3*rungKbps)) + 1
+		if d < 1 {
+			d = 1
+		}
+		if d > 16 {
+			d = 16
+		}
+		if member[i] {
+			d += m - 2
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// confSpec is one pre-drawn session: a conference (every member a
+// source) or a competing single-source broadcast.
+type confSpec struct {
+	id      sched.SessionID
+	pri     int
+	root    int
+	members []int
+	sources []int // extra sources (conference only; root is implicit)
+	conf    bool
+}
+
+// genConfSessions pre-draws disjoint rosters. Conference members come
+// from the consumer access band — the client profile conferencing
+// targets: estimated downlink carrying the ConfSize-1 concurrent
+// incoming voices with the planner's own 1.3x provisioning headroom (a
+// member receives every other voice at once), and uplink in [1.3, 4] x
+// the rung — enough to source its own stream once, nowhere near enough
+// to fan it out to M-1 receivers. Uplink-rich backbone hosts are
+// excluded from conference rosters on purpose — they stay in the pool,
+// where the scheduler recruits them as helpers, which is the regime
+// the study measures: a roster whose own uplink cannot carry the call,
+// made whole by the resource pool. Broadcast audiences face no such
+// architecture argument (a broadcast member receives one stream and an
+// uplink-rich member is simply a good relay), so they draw from every
+// host whose downlink carries a single rung with headroom. Each
+// roster's best-estimated-uplink member becomes the root; in
+// conferences every other member is promoted to a source.
+func genConfSessions(rng *rand.Rand, estUp, estDown []float64, opts ConfOptions) ([]confSpec, error) {
+	need := 1.3 * float64(opts.ConfSize-1) * opts.SourceKbps
+	upMin, upMax := 1.3*opts.SourceKbps, 4*opts.SourceKbps
+	var confEligible []int
+	for h := range estDown {
+		if estDown[h] >= need && estUp[h] >= upMin && estUp[h] <= upMax {
+			confEligible = append(confEligible, h)
+		}
+	}
+	if n := opts.Conferences * opts.ConfSize; n > len(confEligible) {
+		return nil, fmt.Errorf("experiments: %d conference members need more than the %d consumer-band hosts (downlink >= %.0f kbps, uplink in [%.0f, %.0f])",
+			n, len(confEligible), need, upMin, upMax)
+	}
+	used := make(map[int]bool)
+	draw := func(pool []int, perm []int, next *int, n int) []int {
+		roster := make([]int, n)
+		for i := range roster {
+			roster[i] = pool[perm[*next]]
+			used[roster[i]] = true
+			*next++
+		}
+		best := 0
+		for i, h := range roster {
+			if estUp[h] > estUp[roster[best]] {
+				best = i
+			}
+		}
+		roster[0], roster[best] = roster[best], roster[0]
+		return roster
+	}
+	confPerm := rng.Perm(len(confEligible))
+	confNext := 0
+	var out []confSpec
+	for c := 0; c < opts.Conferences; c++ {
+		roster := draw(confEligible, confPerm, &confNext, opts.ConfSize)
+		out = append(out, confSpec{
+			id:      sched.SessionID(c + 1),
+			pri:     c%2 + 1,
+			root:    roster[0],
+			members: append([]int(nil), roster[1:]...),
+			sources: append([]int(nil), roster[1:]...),
+			conf:    true,
+		})
+	}
+	var bcastEligible []int
+	for h := range estDown {
+		if estDown[h] >= 1.3*opts.SourceKbps && !used[h] {
+			bcastEligible = append(bcastEligible, h)
+		}
+	}
+	if n := opts.Broadcasts * opts.BroadcastSize; n > len(bcastEligible) {
+		return nil, fmt.Errorf("experiments: %d broadcast members need more than the %d hosts whose downlink carries %.0f kbps",
+			n, len(bcastEligible), 1.3*opts.SourceKbps)
+	}
+	bcastPerm := rng.Perm(len(bcastEligible))
+	bcastNext := 0
+	for b := 0; b < opts.Broadcasts; b++ {
+		roster := draw(bcastEligible, bcastPerm, &bcastNext, opts.BroadcastSize)
+		out = append(out, confSpec{
+			id:      sched.SessionID(100 + b + 1),
+			pri:     sched.NumClasses,
+			root:    roster[0],
+			members: append([]int(nil), roster[1:]...),
+		})
+	}
+	return out, nil
+}
+
+// confPump identifies one (session, source) pump.
+type confPump struct {
+	spec *confSpec
+	src  int
+	pump *dataplane.Pump
+}
+
+func confRun(idx int, cell string, opts ConfOptions) (ConfRow, error) {
+	start := time.Now()
+	lat, model, est, err := streamWorld(StreamOptions{Hosts: opts.Hosts, Leafset: opts.Leafset, Seed: opts.Seed})
+	if err != nil {
+		return ConfRow{}, err
+	}
+	estUp := make([]float64, opts.Hosts)
+	estDown := make([]float64, opts.Hosts)
+	for h := 0; h < opts.Hosts; h++ {
+		estUp[h] = est[h].Up
+		estDown[h] = est[h].Down
+	}
+	srng := rand.New(rand.NewSource(opts.Seed*1000 + int64(idx)*17 + 3))
+	all, err := genConfSessions(srng, estUp, estDown, opts)
+	if err != nil {
+		return ConfRow{}, err
+	}
+	member := make(map[int]bool)
+	for i := range all {
+		if all[i].conf {
+			member[all[i].root] = true
+			for _, m := range all[i].members {
+				member[m] = true
+			}
+		}
+	}
+	degrees := confDegrees(estUp, member, opts.ConfSize, opts.SourceKbps)
+	engine := eventsim.New(opts.Seed + int64(idx))
+	sim := transport.NewSim(engine, transport.SimOptions{Latency: transport.LatencyFunc(lat)})
+	f := faultnet.New(sim, faultnet.Options{Seed: opts.Seed*100 + int64(idx)})
+	// Helper recruitment keeps the paper's min-degree-4 rule (the sched
+	// default, not the stream study's relaxed 2): conference trees hang
+	// almost entirely off helpers — members spend nearly all their slots
+	// on parent links — so a degree-2 helper saturates the moment it
+	// takes a parent edge and one child, stranding the rest of the
+	// roster.
+	sv := sched.NewService(degrees, lat, sched.ServiceConfig{
+		Sched: sched.Config{ScoreLatency: lat, MetricScore: true},
+		Seed:  opts.Seed*10 + int64(idx) + 5,
+	})
+	sv.Instrument(opts.Registry)
+	f.Instrument(opts.Registry, nil)
+	specs := all[:0:0]
+	for i := range all {
+		if all[i].conf || confMarket(cell) {
+			specs = append(specs, all[i])
+		}
+	}
+
+	row := ConfRow{Cell: cell}
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	// --- control plane: submit, tick, churn, rejoin ---
+	pumpStart := 2 * eventsim.Second
+	streamEnd := pumpStart + eventsim.Time(opts.Chunks)*opts.ChunkDur + opts.Playout
+	runEnd := streamEnd + 10*eventsim.Second
+
+	for i := range specs {
+		s := &specs[i]
+		engine.At(100*eventsim.Millisecond, func() {
+			sess := &sched.Session{
+				ID: s.id, Priority: s.pri, Root: s.root,
+				Members: append([]int(nil), s.members...),
+				Sources: append([]int(nil), s.sources...),
+			}
+			if _, err := sv.Submit(f.Now(), sess); err != nil {
+				fail(err)
+			}
+		})
+	}
+	var tick func()
+	tick = func() {
+		if err := sv.Tick(f.Now()); err != nil {
+			fail(err)
+			return
+		}
+		if f.Now() < runEnd {
+			f.After(opts.TickEvery, tick)
+		}
+	}
+	f.After(opts.TickEvery, tick)
+
+	// confOf maps a non-root conference member back to its session so
+	// restarts can rejoin the call.
+	confOf := make(map[int]*confSpec)
+	for i := range specs {
+		if specs[i].conf {
+			for _, m := range specs[i].members {
+				confOf[m] = &specs[i]
+			}
+		}
+	}
+	downSince := make(map[int]eventsim.Time)
+	f.OnCrash(func(a transport.Addr) {
+		h := int(a)
+		downSince[h] = f.Now()
+		f.After(opts.DetectDelay, func() {
+			if f.Crashed(a) {
+				sv.NodeFailed(f.Now(), h)
+			}
+		})
+	})
+	f.OnRestart(func(a transport.Addr) {
+		h := int(a)
+		delete(downSince, h)
+		sv.NodeRecovered(f.Now(), h)
+		// A restarted conference member dials back in: re-enter the
+		// roster, then reclaim the source role — the live AddSource
+		// path. Errors are expected when the crash was never detected
+		// (the member was never stripped) or the session is gone.
+		if s := confOf[h]; s != nil && f.Now() < streamEnd {
+			if err := sv.AddMember(s.id, h); err == nil {
+				row.Rejoins++
+			}
+			_ = sv.AddSource(s.id, h)
+		}
+	})
+	if confChurn(cell) && opts.CrashRate > 0 {
+		// Churn hits non-root conference members only: every victim is
+		// a live source, so each crash tears one tree down and bends
+		// M-1 others. Roots are spared (a dead root ends the session —
+		// a different study), as are broadcast members (their churn is
+		// the stream study's subject).
+		var pool []int
+		for i := range specs {
+			if specs[i].conf {
+				pool = append(pool, specs[i].members...)
+			}
+		}
+		crng := rand.New(rand.NewSource(opts.Seed*1000 + int64(idx)*31 + 7))
+		for at := pumpStart + 3*eventsim.Second; ; {
+			gap := crng.ExpFloat64() / opts.CrashRate * float64(eventsim.Minute)
+			at += eventsim.Time(gap)
+			if at >= streamEnd-opts.Playout {
+				break
+			}
+			victim := transport.Addr(pool[crng.Intn(len(pool))])
+			f.CrashAt(at, victim)
+			f.RestartAt(at+opts.RestartDelay, victim)
+		}
+	}
+
+	// --- data plane: one pump per (session, source) ---
+	up := make([]float64, opts.Hosts)
+	down := make([]float64, opts.Hosts)
+	for h := 0; h < opts.Hosts; h++ {
+		up[h] = model.Up(h)
+		down[h] = model.Down(h)
+	}
+	plane := dataplane.NewPlane(f, up, down)
+	plane.Attach(opts.Hosts)
+	plane.Instrument(opts.Registry)
+	alive := func(h int) bool { return !f.Crashed(transport.Addr(h)) }
+	var pumps []*confPump
+	for i := range specs {
+		s := &specs[i]
+		for _, src := range append([]int{s.root}, s.sources...) {
+			pumps = append(pumps, &confPump{spec: s, src: src})
+		}
+	}
+	engine.At(pumpStart-eventsim.Millisecond, func() {
+		for i, cp := range pumps {
+			cp := cp
+			src := cp.src
+			id := cp.spec.id
+			// The pump's receiver set is the roster minus its source;
+			// for extra sources that includes the session root.
+			var members []int
+			for _, m := range append([]int{cp.spec.root}, cp.spec.members...) {
+				if m != src {
+					members = append(members, m)
+				}
+			}
+			treeOf := func() *alm.Tree {
+				if live := sv.Scheduler().Session(id); live != nil {
+					return live.TreeFor(src)
+				}
+				return nil
+			}
+			p, err := plane.StartPump(int(id)*1000+src, src, members, treeOf, alive, pumpStart, dataplane.Config{
+				ChunkDur:      opts.ChunkDur,
+				BitrateKbps:   opts.SourceKbps,
+				Playout:       opts.Playout,
+				Chunks:        opts.Chunks,
+				PullNeighbors: opts.PullNeighbors,
+				Seed:          opts.Seed*100000 + int64(idx)*1000 + int64(i),
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			cp.pump = p
+		}
+	})
+
+	// --- invariant sweeps: the shared-ledger conservation checks run
+	// against the live multi-source state throughout ---
+	ireg := invariant.NewRegistry()
+	world := &invariant.World{
+		Sched:  sv.Scheduler(),
+		Bounds: degrees,
+		Down:   func(h int) bool { return f.Crashed(transport.Addr(h)) },
+		DownSince: func(h int) (eventsim.Time, bool) {
+			t, ok := downSince[h]
+			return t, ok
+		},
+		RepairLag: opts.DetectDelay + opts.TickEvery + 2*eventsim.Second,
+	}
+	sweep := func() {
+		world.Now = engine.Now()
+		for _, v := range ireg.Sweep(world, invariant.Continuous) {
+			row.Violations++
+			if row.FirstViolation == "" {
+				row.FirstViolation = fmt.Sprintf("t=%.1fs %s", float64(engine.Now())/1000, v.String())
+			}
+		}
+	}
+	for t := opts.SweepEvery; t <= runEnd; t += opts.SweepEvery {
+		engine.At(t, sweep)
+	}
+
+	engine.RunUntil(runEnd)
+	if firstErr != nil {
+		return ConfRow{}, fmt.Errorf("conf %s: %w", cell, firstErr)
+	}
+
+	// --- harvest ---
+	var sharedSum, isoSum float64
+	var isoN int
+	var heightSum float64
+	var heightN int
+	for i := range specs {
+		s := &specs[i]
+		if !s.conf {
+			if live := sv.Scheduler().Session(s.id); live != nil && live.Tree != nil {
+				row.BcastPlanned++
+			}
+			continue
+		}
+		roster := append([]int{s.root}, s.members...)
+		var upSum float64
+		for _, m := range roster {
+			upSum += model.Up(m)
+		}
+		m := len(roster)
+		sharedSum += upSum / float64(m*(m-1))
+		for _, src := range roster {
+			ups := make([]float64, 0, m-1)
+			for _, o := range roster {
+				if o != src {
+					ups = append(ups, model.Up(o))
+				}
+			}
+			isoSum += dataplane.CapacityBound(model.Up(src), ups)
+			isoN++
+		}
+		live := sv.Scheduler().Session(s.id)
+		if live == nil {
+			continue
+		}
+		row.Helpers += live.HelperCount()
+		for _, st := range live.Trees() {
+			if st.Tree == nil {
+				continue
+			}
+			row.ConfTrees++
+			h := st.Tree.MaxHeight(lat)
+			heightSum += h
+			heightN++
+			if h > row.MaxHeightMS {
+				row.MaxHeightMS = h
+			}
+		}
+	}
+	sharedN := 0
+	for i := range specs {
+		if specs[i].conf {
+			sharedN++
+		}
+	}
+	if sharedN > 0 {
+		row.SharedBoundKbps = sharedSum / float64(sharedN)
+	}
+	if isoN > 0 {
+		row.IsoBoundKbps = isoSum / float64(isoN)
+	}
+	if heightN > 0 {
+		row.MeanHeightMS = heightSum / float64(heightN)
+	}
+
+	var bExpected, bOnTime, bPull int
+	for _, cp := range pumps {
+		if cp.pump == nil {
+			continue
+		}
+		st := cp.pump.Finalize()
+		if !cp.spec.conf {
+			bExpected += st.Expected
+			bOnTime += st.OnTimeTree
+			bPull += st.PullRecovered
+			continue
+		}
+		row.Sources++
+		row.Expected += st.Expected
+		row.OnTimeTree += st.OnTimeTree
+		row.PullRecovered += st.PullRecovered
+		row.Late += st.Late
+		row.Lost += st.Lost
+		row.TreeMisses += st.TreeMisses
+		row.PullsSent += st.PullsSent
+		row.Duplicates += st.Duplicates
+		if st.Expected > 0 {
+			src := opts.SourceKbps * float64(st.OnTimeTree+st.PullRecovered) / float64(st.Expected)
+			if row.MinSrcKbps == 0 || src < row.MinSrcKbps {
+				row.MinSrcKbps = src
+			}
+			if src > row.MaxSrcKbps {
+				row.MaxSrcKbps = src
+			}
+		}
+	}
+	if row.Expected > 0 {
+		onTime := float64(row.OnTimeTree+row.PullRecovered) / float64(row.Expected)
+		row.DeliveredKbps = opts.SourceKbps * onTime
+		row.MissRate = 1 - onTime
+	}
+	if bExpected > 0 {
+		onTime := float64(bOnTime+bPull) / float64(bExpected)
+		row.BcastDeliveredKbps = opts.SourceKbps * onTime
+		row.BcastMissRate = 1 - onTime
+	}
+	row.Crashes = int(f.Counters().Crashes)
+	tot := sv.Scheduler().Totals()
+	row.Repairs = tot.Repairs
+	row.Replans = tot.Replans
+	if opts.Bench {
+		row.BenchWallMS = float64(time.Since(start).Milliseconds())
+	}
+	return row, nil
+}
+
+// Tables renders the conferencing study.
+func (r *ConfResult) Tables() []Table {
+	delivery := Table{
+		Title: "Conferencing: per-source delivery vs the shared member-only bound",
+		Columns: []string{
+			"cell", "src kbps", "shared bound", "iso bound", "delivered",
+			"min src", "max src", "miss rate", "max height ms", "trees", "helpers",
+		},
+		Note: fmt.Sprintf("%d conferences of %d members over %d hosts, every member a source at %.0f kbps "+
+			"(%d chunks of %.1fs, %.0fs playout); shared bound = sum(up_i)/(M*(M-1)) — M sources split the "+
+			"roster's uplink M*(M-1) ways, vs the iso bound the same source would see alone (Chakareski et "+
+			"al.); delivered above the shared bound is uplink recruited from the pool; min/max src bracket "+
+			"per-source delivered rates; max height is the worst planned root-to-member latency bound",
+			r.Opts.Conferences, r.Opts.ConfSize, r.Opts.Hosts, r.Opts.SourceKbps,
+			r.Opts.Chunks, float64(r.Opts.ChunkDur)/1000, float64(r.Opts.Playout)/1000),
+	}
+	market := Table{
+		Title: "Conferencing: market competition, churn recovery and ledger audit",
+		Columns: []string{
+			"cell", "expected", "tree ok", "pull-rec", "late", "lost",
+			"bcast kbps", "bcast miss", "crashes", "rejoins", "repairs", "replans", "violations",
+		},
+		Note: fmt.Sprintf("market cells add %d single-source broadcasts of %d members at the lowest "+
+			"priority class, competing for the same hosts; churn cells crash %.0f conference members/min "+
+			"(restart after %.0fs, detected in %.1fs) and restarts rejoin through AddMember + AddSource; "+
+			"violations counts continuous invariant sweeps (every %.0fs) over the shared multi-source "+
+			"ledger — the study passes iff the column is all zeros",
+			r.Opts.Broadcasts, r.Opts.BroadcastSize, r.Opts.CrashRate,
+			float64(r.Opts.RestartDelay)/1000, float64(r.Opts.DetectDelay)/1000,
+			float64(r.Opts.SweepEvery)/1000),
+	}
+	for _, row := range r.Rows {
+		delivery.Rows = append(delivery.Rows, []string{
+			row.Cell, f1(r.Opts.SourceKbps), f1(row.SharedBoundKbps), f1(row.IsoBoundKbps),
+			f1(row.DeliveredKbps), f1(row.MinSrcKbps), f1(row.MaxSrcKbps), f3(row.MissRate),
+			f1(row.MaxHeightMS), d(row.ConfTrees), d(row.Helpers),
+		})
+		market.Rows = append(market.Rows, []string{
+			row.Cell, d(row.Expected), d(row.OnTimeTree), d(row.PullRecovered), d(row.Late), d(row.Lost),
+			f1(row.BcastDeliveredKbps), f3(row.BcastMissRate), d(row.Crashes), d(row.Rejoins),
+			d(row.Repairs), d(row.Replans), d(row.Violations),
+		})
+	}
+	return []Table{delivery, market}
+}
+
+// confBenchFile is the BENCH_conf.json schema, version bench-conf/v1:
+//
+//	{
+//	  "schema": "bench-conf/v1",
+//	  "runs": [{
+//	    "label": "pr10",             // which PR/state produced the rows
+//	    "seed": 1, "hosts": 8000, "conferences": 4, "conf_size": 6, "chunks": 30,
+//	    "rows": [{
+//	      "cell": "solo",            // scenario cell
+//	      "src_kbps": 250,           // per-source bitrate
+//	      "shared_bound_kbps": 0,    // sum(up)/(M*(M-1)) member-only bound
+//	      "iso_bound_kbps": 0,       // single-source bound for comparison
+//	      "delivered_kbps": 0,       // rung x on-time fraction
+//	      "min_src_kbps": 0,         // worst per-source delivered
+//	      "miss_rate": 0,            // 1 - on-time fraction
+//	      "bcast_kbps": 0,           // competing broadcasts' delivered
+//	      "max_height_ms": 0,        // worst planned latency bound
+//	      "violations": 0,           // invariant sweep violations
+//	      "wall_ms": 0               // run wall time
+//	    }, ...]
+//	  }, ...]
+//	}
+//
+// Each bench invocation appends (or replaces) one labeled run,
+// mirroring the bench-load/v1 convention.
+type confBenchFile struct {
+	Schema string         `json:"schema"`
+	Runs   []confBenchRun `json:"runs"`
+}
+
+type confBenchRun struct {
+	Label       string         `json:"label"`
+	Seed        int64          `json:"seed"`
+	Hosts       int            `json:"hosts"`
+	Conferences int            `json:"conferences"`
+	ConfSize    int            `json:"conf_size"`
+	Chunks      int            `json:"chunks"`
+	Rows        []confBenchRow `json:"rows"`
+}
+
+type confBenchRow struct {
+	Cell            string  `json:"cell"`
+	SrcKbps         float64 `json:"src_kbps"`
+	SharedBoundKbps float64 `json:"shared_bound_kbps"`
+	IsoBoundKbps    float64 `json:"iso_bound_kbps"`
+	DeliveredKbps   float64 `json:"delivered_kbps"`
+	MinSrcKbps      float64 `json:"min_src_kbps"`
+	MissRate        float64 `json:"miss_rate"`
+	BcastKbps       float64 `json:"bcast_kbps"`
+	MaxHeightMS     float64 `json:"max_height_ms"`
+	Violations      int     `json:"violations"`
+	WallMS          float64 `json:"wall_ms"`
+}
+
+// AppendBenchJSON merges this result into an existing BENCH_conf.json
+// (existing may be nil/empty for a fresh file) as a run labeled label,
+// replacing any previous run with the same label. Call on a result
+// produced with ConfOptions.Bench set for wall-clock fields.
+func (r *ConfResult) AppendBenchJSON(existing []byte, label string) ([]byte, error) {
+	if label == "" {
+		label = "dev"
+	}
+	f := confBenchFile{Schema: "bench-conf/v1"}
+	if len(existing) > 0 {
+		if err := json.Unmarshal(existing, &f); err != nil {
+			return nil, fmt.Errorf("experiments: parsing conf bench file: %w", err)
+		}
+		if f.Schema != "bench-conf/v1" {
+			return nil, fmt.Errorf("experiments: unknown conf bench schema %q", f.Schema)
+		}
+	}
+	run := confBenchRun{
+		Label:       label,
+		Seed:        r.Opts.Seed,
+		Hosts:       r.Opts.Hosts,
+		Conferences: r.Opts.Conferences,
+		ConfSize:    r.Opts.ConfSize,
+		Chunks:      r.Opts.Chunks,
+	}
+	for _, row := range r.Rows {
+		run.Rows = append(run.Rows, confBenchRow{
+			Cell:            row.Cell,
+			SrcKbps:         r.Opts.SourceKbps,
+			SharedBoundKbps: row.SharedBoundKbps,
+			IsoBoundKbps:    row.IsoBoundKbps,
+			DeliveredKbps:   row.DeliveredKbps,
+			MinSrcKbps:      row.MinSrcKbps,
+			MissRate:        row.MissRate,
+			BcastKbps:       row.BcastDeliveredKbps,
+			MaxHeightMS:     row.MaxHeightMS,
+			Violations:      row.Violations,
+			WallMS:          row.BenchWallMS,
+		})
+	}
+	kept := f.Runs[:0]
+	for _, old := range f.Runs {
+		if old.Label != label {
+			kept = append(kept, old)
+		}
+	}
+	f.Runs = append(kept, run)
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

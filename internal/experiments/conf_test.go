@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"p2ppool/internal/eventsim"
+)
+
+// smallConf is a fast configuration that still exercises every moving
+// part: multi-source planning against one shared ledger, M concurrent
+// pumps per conference under shared contention, market competition
+// from broadcasts, churn with AddMember + AddSource rejoins, and the
+// continuous invariant sweeps.
+func smallConf(seed int64) ConfOptions {
+	return ConfOptions{
+		Hosts:         600,
+		Conferences:   2,
+		ConfSize:      4,
+		Broadcasts:    2,
+		BroadcastSize: 12,
+		Chunks:        10,
+		Leafset:       8,
+		// Hot churn with restarts fast enough that rejoined sources get
+		// to pump again inside the short run.
+		CrashRate:    40,
+		RestartDelay: 4 * eventsim.Second,
+		Seed:         seed,
+	}
+}
+
+// TestConfSharedBoundDelivery: the headline contract — every cell plans
+// all (session, source) trees, every source delivers, the shared
+// member-only bound sits below the single-source bound, and the
+// outcome buckets partition the expected pairs.
+func TestConfSharedBoundDelivery(t *testing.T) {
+	opts := smallConf(1)
+	res, err := Conf(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 cells", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Sources != opts.Conferences*opts.ConfSize {
+			t.Errorf("%s: %d source pumps, want %d", row.Cell, row.Sources, opts.Conferences*opts.ConfSize)
+		}
+		if row.ConfTrees == 0 {
+			t.Errorf("%s: no conference tree survived to harvest", row.Cell)
+		}
+		if row.Expected == 0 {
+			t.Errorf("%s: zero expected chunks — pumps never ran", row.Cell)
+			continue
+		}
+		if got := row.OnTimeTree + row.PullRecovered + row.Late + row.Lost; got != row.Expected {
+			t.Errorf("%s: outcomes sum to %d, want Expected=%d", row.Cell, got, row.Expected)
+		}
+		if row.DeliveredKbps <= 0 {
+			t.Errorf("%s: delivered %.1f kbps — nothing arrived on time", row.Cell, row.DeliveredKbps)
+		}
+		if row.SharedBoundKbps <= 0 || row.IsoBoundKbps <= 0 {
+			t.Errorf("%s: bounds %.1f/%.1f", row.Cell, row.SharedBoundKbps, row.IsoBoundKbps)
+		}
+		// M sources splitting the roster's uplink M*(M-1) ways must see
+		// a tighter bound than one source owning it all.
+		if row.SharedBoundKbps >= row.IsoBoundKbps {
+			t.Errorf("%s: shared bound %.1f >= iso bound %.1f", row.Cell, row.SharedBoundKbps, row.IsoBoundKbps)
+		}
+		if row.MaxHeightMS <= 0 || row.MeanHeightMS <= 0 || row.MeanHeightMS > row.MaxHeightMS {
+			t.Errorf("%s: heights mean %.1f max %.1f", row.Cell, row.MeanHeightMS, row.MaxHeightMS)
+		}
+		if row.Violations != 0 {
+			t.Errorf("%s: %d invariant violation(s), first: %s", row.Cell, row.Violations, row.FirstViolation)
+		}
+	}
+	// The headline: in the calm solo cell the rosters' own uplink
+	// cannot carry the call (the shared bound sits below the rung), yet
+	// delivery beats the bound — the difference is uplink recruited
+	// from the resource pool.
+	if solo := res.Row("solo"); solo.DeliveredKbps <= solo.SharedBoundKbps {
+		t.Errorf("solo: delivered %.1f kbps does not beat the member-only shared bound %.1f — helpers contributed nothing",
+			solo.DeliveredKbps, solo.SharedBoundKbps)
+	}
+	// Market cells run competing broadcasts; solo cells must not.
+	for _, cell := range []string{"market", "market-churn"} {
+		row := res.Row(cell)
+		if row == nil {
+			t.Fatalf("missing %s row", cell)
+		}
+		if row.BcastPlanned == 0 {
+			t.Errorf("%s: no broadcast obtained a tree", cell)
+		}
+		if row.BcastDeliveredKbps <= 0 {
+			t.Errorf("%s: broadcasts delivered nothing", cell)
+		}
+	}
+	for _, cell := range []string{"solo", "solo-churn"} {
+		if row := res.Row(cell); row.BcastPlanned != 0 || row.BcastDeliveredKbps != 0 {
+			t.Errorf("%s: broadcasts present in a solo cell", cell)
+		}
+	}
+}
+
+// TestConfChurnRejoins: churn cells must crash live sources, the
+// control plane must repair or replan around them, and restarted
+// members must rejoin through the AddMember + AddSource path.
+func TestConfChurnRejoins(t *testing.T) {
+	res, err := Conf(smallConf(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []string{"solo", "market"} {
+		if row := res.Row(cell); row.Crashes != 0 {
+			t.Errorf("%s: %d crashes in a churn-free cell", cell, row.Crashes)
+		}
+	}
+	for _, cell := range []string{"solo-churn", "market-churn"} {
+		row := res.Row(cell)
+		if row.Crashes == 0 {
+			t.Errorf("%s: churn cell crashed nobody", cell)
+		}
+		if row.Rejoins == 0 {
+			t.Errorf("%s: no restarted member rejoined its conference", cell)
+		}
+		if row.Repairs+row.Replans == 0 {
+			t.Errorf("%s: control plane neither repaired nor replanned under churn", cell)
+		}
+		if row.Violations != 0 {
+			t.Errorf("%s: %d invariant violation(s) under churn, first: %s",
+				cell, row.Violations, row.FirstViolation)
+		}
+	}
+}
+
+// TestConfBenchJSON: the labeled-run append format — fresh file,
+// replace-by-label, a second label accumulating, foreign schema
+// rejected.
+func TestConfBenchJSON(t *testing.T) {
+	opts := smallConf(3)
+	opts.Cells = []string{"solo"}
+	opts.Bench = true
+	res, err := Conf(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := res.AppendBenchJSON(nil, "pr10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": "bench-conf/v1"`, `"label": "pr10"`, `"cell": "solo"`, `"shared_bound_kbps"`} {
+		if !strings.Contains(string(first), want) {
+			t.Errorf("bench JSON missing %s:\n%s", want, first)
+		}
+	}
+	replaced, err := res.AppendBenchJSON(first, "pr10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(replaced), `"label"`); n != 1 {
+		t.Errorf("re-appending the same label kept %d runs, want 1", n)
+	}
+	both, err := res.AppendBenchJSON(replaced, "pr11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(both), `"label"`); n != 2 {
+		t.Errorf("appending a second label kept %d runs, want 2", n)
+	}
+	if _, err := res.AppendBenchJSON([]byte(`{"schema":"bench-stream/v1"}`), "x"); err == nil {
+		t.Error("foreign schema accepted")
+	}
+}

@@ -175,6 +175,33 @@ func TestStreamWorkerDeterminism(t *testing.T) {
 	}
 }
 
+// The conferencing study drives the multi-source scheduler grain and
+// feeds BENCH_conf.json, so it is diffed across three worker counts:
+// per-cell engines, pre-drawn rosters, churn schedules and one pump
+// per (session, source) must render byte-identically however the
+// cells are spread over workers.
+func TestConfWorkerDeterminism(t *testing.T) {
+	run := func(w int) (Result, error) {
+		opts := smallConf(1)
+		opts.Workers = w
+		return Conf(opts)
+	}
+	base, err := run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderAll(base)
+	for _, w := range []int{4, 16} {
+		res, err := run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderAll(res); got != want {
+			t.Errorf("conf output differs between Workers=1 and Workers=%d:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s", w, want, w, got)
+		}
+	}
+}
+
 // The audit is held to a stricter standard than the figures — the
 // issue of record is a byte-identical reproduction trace, so the
 // rendered output is diffed across three worker counts, not two.

@@ -57,6 +57,13 @@ type ScaleOptions struct {
 	// in Tables() output — they go to the bench JSON — so determinism
 	// contracts are unaffected.
 	Bench bool
+	// Shards is the ring's STRUCTURAL shard count (default scaleShards =
+	// 8). Unlike Workers it is part of the study's identity: shards
+	// partition hosts across engines and so belong to the seed schedule
+	// — a different shard count produces different (equally valid)
+	// figures. AppendBenchJSON records it per run and refuses to mix
+	// shard counts within one bench file.
+	Shards int
 }
 
 func (o ScaleOptions) withDefaults() ScaleOptions {
@@ -71,6 +78,9 @@ func (o ScaleOptions) withDefaults() ScaleOptions {
 	}
 	if o.GroupSize <= 0 {
 		o.GroupSize = 100
+	}
+	if o.Shards <= 0 {
+		o.Shards = scaleShards
 	}
 	return o
 }
@@ -212,7 +222,7 @@ func scaleRun(n int, opts ScaleOptions) (ScaleRow, error) {
 	// minimum cross-host latency: every path crosses two last hops.
 	sim := transport.NewShardedSim(transport.ShardedSimOptions{
 		Latency:   pool.TrueLatency,
-		Shards:    scaleShards,
+		Shards:    opts.Shards,
 		Lookahead: eventsim.Time(2 * top.LastHopMin),
 		Workers:   opts.Workers,
 		Seed:      opts.Seed + int64(n),
@@ -348,6 +358,7 @@ func (r *ScaleResult) Tables() []Table {
 //	  "runs": [{
 //	    "label": "pr6",           // which PR/state produced the rows
 //	    "seed": 1, "runtime_ms": 60000, "group_size": 100,
+//	    "shards": 8,              // structural shard count (0 = legacy, ran 8)
 //	    "rows": [{
 //	      "hosts": 1200,          // pool size
 //	      "routers": 600,         // underlay size (scales ≈ n/2)
@@ -380,11 +391,15 @@ type benchFile struct {
 }
 
 type benchRun struct {
-	Label     string     `json:"label"`
-	Seed      int64      `json:"seed"`
-	RuntimeMS float64    `json:"runtime_ms"`
-	GroupSize int        `json:"group_size"`
-	Rows      []benchRow `json:"rows"`
+	Label     string  `json:"label"`
+	Seed      int64   `json:"seed"`
+	RuntimeMS float64 `json:"runtime_ms"`
+	GroupSize int     `json:"group_size"`
+	// Shards is the structural shard count the run's figures were
+	// produced under; 0 in legacy runs recorded before it was tracked
+	// (all of which used the then-hardwired 8).
+	Shards int        `json:"shards,omitempty"`
+	Rows   []benchRow `json:"rows"`
 }
 
 type benchRow struct {
@@ -439,6 +454,27 @@ func (r *ScaleResult) AppendBenchJSON(existing []byte, label string) ([]byte, er
 		Seed:      r.Opts.Seed,
 		RuntimeMS: float64(r.Opts.Runtime),
 		GroupSize: r.Opts.GroupSize,
+		Shards:    r.Opts.Shards,
+	}
+	// The shard count is structural (part of the seed schedule):
+	// appending a run produced under a different count would chart
+	// incomparable figures as one trajectory. Legacy runs with no
+	// recorded count (0) all used the then-hardwired 8.
+	for _, old := range f.Runs {
+		if old.Label == label {
+			continue // being replaced below
+		}
+		oldShards := old.Shards
+		if oldShards == 0 {
+			oldShards = scaleShards
+		}
+		if oldShards != run.Shards {
+			return nil, fmt.Errorf(
+				"experiments: bench file run %q was produced with %d shards, new run %q uses %d: "+
+					"shard count is structural, so their figures are not comparable — "+
+					"use a fresh bench file or rerun with -matching shards",
+				old.Label, oldShards, label, run.Shards)
+		}
 	}
 	for _, row := range r.Rows {
 		run.Rows = append(run.Rows, benchRow{

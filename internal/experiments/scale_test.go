@@ -183,3 +183,50 @@ func TestScaleTableHasOracleColumns(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendBenchJSONRefusesShardMismatch(t *testing.T) {
+	res := smallScaleResult(t) // default structural shard count (8)
+	if got := res.Opts.Shards; got != scaleShards {
+		t.Fatalf("defaulted Shards = %d, want %d", got, scaleShards)
+	}
+	existing, err := res.AppendBenchJSON(nil, "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(existing, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Runs[0].Shards != scaleShards {
+		t.Fatalf("recorded shards = %d, want %d", f.Runs[0].Shards, scaleShards)
+	}
+
+	// A run produced under a different structural shard count must be
+	// refused — its figures chart a different seed schedule.
+	other := *res
+	other.Opts.Shards = 4
+	if _, err := other.AppendBenchJSON(existing, "new"); err == nil {
+		t.Fatal("appending a 4-shard run onto an 8-shard baseline succeeded")
+	} else if !strings.Contains(err.Error(), "structural") {
+		t.Fatalf("refusal should name the structural mismatch, got: %v", err)
+	}
+	// Replacing the mismatched baseline itself under its own label is
+	// allowed (that is how a file is intentionally re-based).
+	if _, err := other.AppendBenchJSON(existing, "base"); err != nil {
+		t.Fatalf("same-label replace refused: %v", err)
+	}
+
+	// Legacy runs with no recorded shard count are treated as the
+	// then-hardwired 8: same-count appends pass, others are refused.
+	legacy := `{"schema": "bench-scale/v2", "runs": [{"label": "pr4", "seed": 1,
+	  "runtime_ms": 60000, "group_size": 100,
+	  "rows": [{"hosts": 1200, "wall_ms": 1, "allocs": 1, "events": 1,
+	            "events_per_sec": 1, "heap_inuse_mb": 1, "peak_rss_mb": 1,
+	            "staleness_ms": 1, "improvement": 0.1}]}]}`
+	if _, err := res.AppendBenchJSON([]byte(legacy), "new"); err != nil {
+		t.Fatalf("8-shard append onto a legacy run refused: %v", err)
+	}
+	if _, err := other.AppendBenchJSON([]byte(legacy), "new"); err == nil {
+		t.Fatal("4-shard append onto a legacy (8-shard) run succeeded")
+	}
+}

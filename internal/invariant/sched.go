@@ -18,10 +18,11 @@ func (w *World) dirtySet() map[sched.SessionID]bool {
 	return out
 }
 
-// checkTreeValid: every session tree is structurally sound at every
-// instant — no dangling parents, no cycles, children/parent maps agree,
-// rooted at the session root — and a settled (non-dirty) session covers
-// all of its members and has a plan at all.
+// checkTreeValid: every (session, source) tree is structurally sound at
+// every instant — no dangling parents, no cycles, children/parent maps
+// agree, rooted at its source — and a settled (non-dirty) session
+// covers all of its members with every source tree and has plans at
+// all.
 func checkTreeValid(w *World) []Violation {
 	if w.Sched == nil {
 		return nil
@@ -29,56 +30,70 @@ func checkTreeValid(w *World) []Violation {
 	dirty := w.dirtySet()
 	var out []Violation
 	for _, s := range w.Sched.Sessions() {
-		if s.Tree == nil {
-			if !dirty[s.ID] {
-				out = append(out, Violation{Check: "alm/tree-valid", Host: s.Root,
-					Detail: fmt.Sprintf("session %d has no plan and is not pending one", s.ID)})
+		for _, st := range s.Trees() {
+			if st.Tree == nil {
+				if !dirty[s.ID] {
+					out = append(out, Violation{Check: "alm/tree-valid", Host: st.Source,
+						Detail: fmt.Sprintf("session %d source %d has no plan and is not pending one", s.ID, st.Source)})
+				}
+				continue
 			}
-			continue
-		}
-		if err := s.Tree.Validate(nil); err != nil {
-			out = append(out, Violation{Check: "alm/tree-valid", Host: s.Root,
-				Detail: fmt.Sprintf("session %d: %v", s.ID, err)})
-			continue
-		}
-		if s.Tree.Root != s.Root {
-			out = append(out, Violation{Check: "alm/tree-valid", Host: s.Root,
-				Detail: fmt.Sprintf("session %d tree rooted at %d, want %d", s.ID, s.Tree.Root, s.Root)})
-		}
-		if dirty[s.ID] {
-			continue
-		}
-		for _, m := range s.Members {
-			if !s.Tree.Contains(m) {
-				out = append(out, Violation{Check: "alm/tree-valid", Host: m,
-					Detail: fmt.Sprintf("session %d member not covered by its tree", s.ID)})
+			if err := st.Tree.Validate(nil); err != nil {
+				out = append(out, Violation{Check: "alm/tree-valid", Host: st.Source,
+					Detail: fmt.Sprintf("session %d source %d: %v", s.ID, st.Source, err)})
+				continue
+			}
+			if st.Tree.Root != st.Source {
+				out = append(out, Violation{Check: "alm/tree-valid", Host: st.Source,
+					Detail: fmt.Sprintf("session %d tree rooted at %d, want source %d", s.ID, st.Tree.Root, st.Source)})
+			}
+			if dirty[s.ID] {
+				continue
+			}
+			for _, m := range append([]int{s.Root}, s.Members...) {
+				if m != st.Source && !st.Tree.Contains(m) {
+					out = append(out, Violation{Check: "alm/tree-valid", Host: m,
+						Detail: fmt.Sprintf("session %d member not covered by source %d's tree", s.ID, st.Source)})
+				}
 			}
 		}
 	}
 	return out
 }
 
-// checkDegreeBound: no session tree ever loads a host beyond its
-// physical degree bound — including right after Repair/Adjust, which
-// is why this is continuous.
+// checkDegreeBound: no session ever loads a host beyond its physical
+// degree bound — summed across all of the session's source trees, the
+// shared-budget guarantee of the conferencing model — including right
+// after Repair/Adjust, which is why this is continuous.
 func checkDegreeBound(w *World) []Violation {
 	if w.Sched == nil || len(w.Bounds) == 0 {
 		return nil
 	}
 	var out []Violation
 	for _, s := range w.Sched.Sessions() {
-		if s.Tree == nil {
-			continue
-		}
-		for _, v := range s.Tree.Nodes() {
-			if v < 0 || v >= len(w.Bounds) {
-				out = append(out, Violation{Check: "alm/degree-bound", Host: v,
-					Detail: fmt.Sprintf("session %d tree uses unknown host", s.ID)})
+		load := make(map[int]int) // host -> summed degree across trees
+		for _, st := range s.Trees() {
+			if st.Tree == nil {
 				continue
 			}
-			if d := s.Tree.Degree(v); d > w.Bounds[v] {
+			for _, v := range st.Tree.Nodes() {
+				if v < 0 || v >= len(w.Bounds) {
+					out = append(out, Violation{Check: "alm/degree-bound", Host: v,
+						Detail: fmt.Sprintf("session %d source %d tree uses unknown host", s.ID, st.Source)})
+					continue
+				}
+				load[v] += st.Tree.Degree(v)
+			}
+		}
+		hosts := make([]int, 0, len(load))
+		for v := range load {
+			hosts = append(hosts, v)
+		}
+		sort.Ints(hosts)
+		for _, v := range hosts {
+			if load[v] > w.Bounds[v] {
 				out = append(out, Violation{Check: "alm/degree-bound", Host: v,
-					Detail: fmt.Sprintf("session %d loads host to degree %d, bound %d", s.ID, d, w.Bounds[v])})
+					Detail: fmt.Sprintf("session %d loads host to degree %d across its trees, bound %d", s.ID, load[v], w.Bounds[v])})
 			}
 		}
 	}
@@ -96,19 +111,24 @@ func checkDeadInTree(w *World) []Violation {
 	reg := w.Sched.Registry()
 	var out []Violation
 	for _, s := range w.Sched.Sessions() {
-		if s.Tree == nil || dirty[s.ID] {
+		if dirty[s.ID] {
 			continue
 		}
-		for _, v := range s.Tree.Nodes() {
-			if reg.Dead(v) {
-				out = append(out, Violation{Check: "alm/dead-in-tree", Host: v,
-					Detail: fmt.Sprintf("settled session %d tree uses registry-dead host", s.ID)})
+		for _, st := range s.Trees() {
+			if st.Tree == nil {
 				continue
 			}
-			if age, ok := w.downFor(v); ok && w.RepairLag > 0 && age > w.RepairLag {
-				out = append(out, Violation{Check: "alm/dead-in-tree", Host: v,
-					Detail: fmt.Sprintf("settled session %d tree uses host down for %.0fms (repair lag %.0fms)",
-						s.ID, float64(age), float64(w.RepairLag))})
+			for _, v := range st.Tree.Nodes() {
+				if reg.Dead(v) {
+					out = append(out, Violation{Check: "alm/dead-in-tree", Host: v,
+						Detail: fmt.Sprintf("settled session %d source %d tree uses registry-dead host", s.ID, st.Source)})
+					continue
+				}
+				if age, ok := w.downFor(v); ok && w.RepairLag > 0 && age > w.RepairLag {
+					out = append(out, Violation{Check: "alm/dead-in-tree", Host: v,
+						Detail: fmt.Sprintf("settled session %d source %d tree uses host down for %.0fms (repair lag %.0fms)",
+							s.ID, st.Source, float64(age), float64(w.RepairLag))})
+				}
 			}
 		}
 	}
@@ -116,9 +136,9 @@ func checkDeadInTree(w *World) []Violation {
 }
 
 // checkLedger: helper-lease accounting — for every settled session the
-// slots it holds on a host equal that host's degree in its tree, and it
-// holds nothing on hosts outside the tree; every allocation belongs to
-// a known session.
+// slots it holds on a host equal that host's degree summed across all
+// of the session's source trees, and it holds nothing on hosts outside
+// them; every allocation belongs to a known session.
 func checkLedger(w *World) []Violation {
 	if w.Sched == nil {
 		return nil
@@ -126,17 +146,27 @@ func checkLedger(w *World) []Violation {
 	dirty := w.dirtySet()
 	reg := w.Sched.Registry()
 	known := make(map[sched.SessionID]bool)
-	trees := make(map[sched.SessionID]map[int]int) // session -> host -> degree
+	trees := make(map[sched.SessionID]map[int]int) // session -> host -> summed degree
 	for _, s := range w.Sched.Sessions() {
 		known[s.ID] = true
-		if s.Tree == nil || dirty[s.ID] {
+		if dirty[s.ID] {
 			continue
 		}
 		deg := make(map[int]int)
-		for _, v := range s.Tree.Nodes() {
-			if d := s.Tree.Degree(v); d > 0 {
-				deg[v] = d
+		planned := false
+		for _, st := range s.Trees() {
+			if st.Tree == nil {
+				continue
 			}
+			planned = true
+			for _, v := range st.Tree.Nodes() {
+				if d := st.Tree.Degree(v); d > 0 {
+					deg[v] += d
+				}
+			}
+		}
+		if !planned {
+			continue
 		}
 		trees[s.ID] = deg
 	}

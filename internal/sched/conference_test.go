@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// confBounds raises the paper's degree distribution to conference
+// provisioning: a member of an M-way conference carries M-1 parent
+// links (one per fellow source's tree) on top of its own fan-out, so
+// per-host bounds below M cannot host a conference at all.
+func confBounds(degrees []int, m int) []int {
+	out := make([]int, len(degrees))
+	for i, d := range degrees {
+		out[i] = d + m
+	}
+	return out
+}
+
+// confSession builds an M-member conference (every member a source)
+// over a random disjoint roster.
+func confSession(id SessionID, pri, size int, perm []int) *Session {
+	nodes := perm[:size]
+	return &Session{
+		ID:       id,
+		Priority: pri,
+		Root:     nodes[0],
+		Members:  append([]int(nil), nodes[1:]...),
+		Sources:  append([]int(nil), nodes[1:]...),
+	}
+}
+
+// checkConfLedger asserts the shared-budget contract: for every host,
+// the slots the registry holds for the session equal the host's degree
+// summed across all of the session's source trees, and never exceed
+// the physical bound.
+func checkConfLedger(t *testing.T, sc *Scheduler, s *Session, bounds []int) {
+	t.Helper()
+	load := make(map[int]int)
+	for _, st := range s.Trees() {
+		if st.Tree == nil {
+			t.Fatalf("source %d has no tree", st.Source)
+		}
+		if st.Tree.Root != st.Source {
+			t.Fatalf("source %d tree rooted at %d", st.Source, st.Tree.Root)
+		}
+		for _, m := range s.roster() {
+			if m != st.Source && !st.Tree.Contains(m) {
+				t.Fatalf("member %d missing from source %d's tree", m, st.Source)
+			}
+		}
+		for _, v := range st.Tree.Nodes() {
+			load[v] += st.Tree.Degree(v)
+		}
+	}
+	for v, d := range load {
+		if d > bounds[v] {
+			t.Fatalf("host %d loaded to %d across the conference's trees, bound %d", v, d, bounds[v])
+		}
+		held := 0
+		for _, a := range sc.Registry().Table(v).Allocations() {
+			if a.Session == s.ID {
+				held += a.Slots
+			}
+		}
+		if held != d {
+			t.Fatalf("host %d: session holds %d slots, summed tree degree %d", v, held, d)
+		}
+	}
+	if err := sc.Registry().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConferenceSharedBudgetPlan(t *testing.T) {
+	net, degrees := buildWorld(t, 400, 7)
+	degrees = confBounds(degrees, 6)
+	sc := NewScheduler(degrees, net.Latency, Config{HelperMinDegree: 2})
+	r := rand.New(rand.NewSource(8))
+	s := confSession(1, 1, 6, r.Perm(400))
+	if err := sc.AddSession(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Trees()); got != 6 {
+		t.Fatalf("planned %d source trees, want 6", got)
+	}
+	checkConfLedger(t, sc, s, degrees)
+
+	// Helpers are recruited once per session: every helper in a later
+	// source tree should come from the session's shared recruited set,
+	// so the distinct-helper count stays near the per-tree helper count
+	// rather than scaling with the number of sources.
+	perTree := 0
+	members := s.memberSet()
+	for _, st := range s.Trees() {
+		n := 0
+		for _, v := range st.Tree.Nodes() {
+			if !members[v] {
+				n++
+			}
+		}
+		if n > perTree {
+			perTree = n
+		}
+	}
+	if distinct := s.HelperCount(); perTree > 0 && distinct > 3*perTree {
+		t.Fatalf("HelperCount = %d vs max per-tree %d: helpers not shared across source trees", distinct, perTree)
+	}
+}
+
+func TestConferenceAddRemoveSource(t *testing.T) {
+	net, degrees := buildWorld(t, 400, 9)
+	degrees = confBounds(degrees, 6)
+	sc := NewScheduler(degrees, net.Latency, Config{HelperMinDegree: 2})
+	r := rand.New(rand.NewSource(10))
+	perm := r.Perm(400)
+	s := &Session{ID: 1, Priority: 2, Root: perm[0], Members: append([]int(nil), perm[1:6]...)}
+	if err := sc.AddSession(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+
+	promoted := perm[2]
+	if err := sc.AddSource(1, promoted); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.AddSource(1, promoted); err == nil {
+		t.Fatal("double AddSource should fail")
+	}
+	if err := sc.AddSource(1, perm[100]); err == nil {
+		t.Fatal("AddSource of a non-member should fail")
+	}
+	if err := sc.AddSource(1, s.Root); err == nil {
+		t.Fatal("AddSource of the root should fail")
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TreeFor(promoted) == nil {
+		t.Fatal("promoted source has no tree after Stabilize")
+	}
+	checkConfLedger(t, sc, s, degrees)
+
+	if err := sc.RemoveSource(1, s.Root); err == nil {
+		t.Fatal("RemoveSource of the root should fail")
+	}
+	if err := sc.RemoveSource(1, promoted); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TreeFor(promoted) != nil {
+		t.Fatal("demoted source still has a tree")
+	}
+	checkConfLedger(t, sc, s, degrees)
+}
+
+func TestConferenceSourceFailureRepairs(t *testing.T) {
+	net, degrees := buildWorld(t, 400, 11)
+	degrees = confBounds(degrees, 6)
+	sc := NewScheduler(degrees, net.Latency, Config{HelperMinDegree: 2})
+	r := rand.New(rand.NewSource(12))
+	s := confSession(1, 1, 6, r.Perm(400))
+	victim := s.Sources[2]
+	if err := sc.AddSession(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+
+	affected := sc.NodeFailed(victim)
+	if len(affected) != 1 || affected[0] != s.ID {
+		t.Fatalf("affected = %v, want [%d]", affected, s.ID)
+	}
+	// Double-fired failure detection must be a no-op: a second replan
+	// for the same failure would double-release the shared ledger.
+	replans := s.Replans
+	if again := sc.NodeFailed(victim); again != nil {
+		t.Fatalf("second NodeFailed fire affected %v, want nothing", again)
+	}
+	if s.Replans != replans {
+		t.Fatalf("double-fired NodeFailed recounted a replan (%d -> %d)", replans, s.Replans)
+	}
+	if _, err := sc.Stabilize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.IsSource(victim) || s.TreeFor(victim) != nil {
+		t.Fatal("dead source still has a source role or tree")
+	}
+	if got := len(s.Trees()); got != 5 {
+		t.Fatalf("%d source trees after a source died, want 5", got)
+	}
+	for _, st := range s.Trees() {
+		if st.Tree.Contains(victim) {
+			t.Fatalf("dead host %d still in source %d's tree", victim, st.Source)
+		}
+	}
+	checkConfLedger(t, sc, s, degrees)
+
+	// Root death still ends the whole conference.
+	sc.NodeFailed(s.Root)
+	if sc.Session(s.ID) != nil {
+		t.Fatal("conference survived its root's death")
+	}
+	if err := sc.Registry().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -15,10 +15,28 @@ type Session struct {
 	Root     int
 	Members  []int // excluding Root
 
-	// Tree is the current plan (nil until scheduled).
+	// Sources lists members that are additional multicast sources
+	// (conferencing): each gets its own tree rooted at itself, and all
+	// of the session's trees draw on one shared per-host slot budget.
+	// The Root is always a source and must not be listed here; every
+	// entry must be a current member. Empty means single-source.
+	Sources []int
+
+	// Tree is the current plan for the Root's stream (nil until
+	// scheduled). Single-source code paths keep reading this field.
 	Tree *alm.Tree
+	// SrcTrees holds the current plan for each extra source in Sources
+	// (nil map for single-source sessions).
+	SrcTrees map[int]*alm.Tree
 	// Replans counts how many times this session had to reschedule.
 	Replans int
+}
+
+// SourceTree pairs a source with its tree (the per-(session, source)
+// grain the registry accounts at).
+type SourceTree struct {
+	Source int
+	Tree   *alm.Tree
 }
 
 // memberSet returns the session's member set including the root.
@@ -36,12 +54,93 @@ func (s *Session) roster() []int {
 	return append([]int{s.Root}, s.Members...)
 }
 
-// HelperCount returns how many non-member nodes the current plan uses.
-func (s *Session) HelperCount() int {
-	if s.Tree == nil {
-		return 0
+// SourceList returns every source in deterministic order: the Root
+// first, then the extra sources sorted ascending.
+func (s *Session) SourceList() []int {
+	out := make([]int, 0, len(s.Sources)+1)
+	out = append(out, s.Root)
+	extra := append([]int(nil), s.Sources...)
+	sort.Ints(extra)
+	return append(out, extra...)
+}
+
+// IsSource reports whether host originates a stream in this session.
+func (s *Session) IsSource(host int) bool {
+	if host == s.Root {
+		return true
 	}
-	return s.Tree.Size() - len(s.Members) - 1
+	for _, v := range s.Sources {
+		if v == host {
+			return true
+		}
+	}
+	return false
+}
+
+// TreeFor returns the current tree rooted at src (nil when src is not a
+// source or not yet planned). The data plane reads per-source routing
+// through this: re-reading picks up repairs and replans live.
+func (s *Session) TreeFor(src int) *alm.Tree {
+	if src == s.Root {
+		return s.Tree
+	}
+	return s.SrcTrees[src]
+}
+
+// Trees returns all (source, tree) pairs in SourceList order. Trees may
+// be nil for sessions not yet planned.
+func (s *Session) Trees() []SourceTree {
+	srcs := s.SourceList()
+	out := make([]SourceTree, 0, len(srcs))
+	for _, src := range srcs {
+		out = append(out, SourceTree{Source: src, Tree: s.TreeFor(src)})
+	}
+	return out
+}
+
+// setTrees installs a freshly planned tree set keyed by source.
+func (s *Session) setTrees(trees map[int]*alm.Tree) {
+	s.Tree = trees[s.Root]
+	s.SrcTrees = nil
+	for src, t := range trees {
+		if src == s.Root {
+			continue
+		}
+		if s.SrcTrees == nil {
+			s.SrcTrees = make(map[int]*alm.Tree, len(trees)-1)
+		}
+		s.SrcTrees[src] = t
+	}
+}
+
+// TreeDegree sums host v's fan-in/fan-out across all of the session's
+// trees — the number of slots the session's plan occupies at v.
+func (s *Session) TreeDegree(v int) int {
+	d := 0
+	for _, st := range s.Trees() {
+		if st.Tree != nil && st.Tree.Contains(v) {
+			d += st.Tree.Degree(v)
+		}
+	}
+	return d
+}
+
+// HelperCount returns how many distinct non-member nodes the current
+// plan uses across all source trees.
+func (s *Session) HelperCount() int {
+	members := s.memberSet()
+	seen := make(map[int]bool)
+	for _, st := range s.Trees() {
+		if st.Tree == nil {
+			continue
+		}
+		for _, v := range st.Tree.Nodes() {
+			if !members[v] {
+				seen[v] = true
+			}
+		}
+	}
+	return len(seen)
 }
 
 // effPriority is the session's priority at a given node: members serve
@@ -191,15 +290,17 @@ func (sc *Scheduler) observeShape() {
 	var height float64
 	var degree int
 	for _, s := range sc.sessions {
-		if s.Tree == nil {
-			continue
-		}
-		if h := s.Tree.MaxHeight(sc.lat); h > height {
-			height = h
-		}
-		for _, v := range s.Tree.Nodes() {
-			if d := s.Tree.Degree(v); d > degree {
-				degree = d
+		for _, st := range s.Trees() {
+			if st.Tree == nil {
+				continue
+			}
+			if h := st.Tree.MaxHeight(sc.lat); h > height {
+				height = h
+			}
+			for _, v := range st.Tree.Nodes() {
+				if d := st.Tree.Degree(v); d > degree {
+					degree = d
+				}
 			}
 		}
 	}
@@ -237,13 +338,27 @@ func (sc *Scheduler) DirtySessions() []SessionID {
 }
 
 // AddSession admits a session (it will be planned on the next
-// Stabilize).
+// Stabilize). Extra sources, if any, must be distinct members.
 func (sc *Scheduler) AddSession(s *Session) error {
 	if _, ok := sc.sessions[s.ID]; ok {
 		return fmt.Errorf("sched: duplicate session %d", s.ID)
 	}
 	if s.Priority < 1 {
 		return fmt.Errorf("sched: session %d priority %d < 1", s.ID, s.Priority)
+	}
+	seen := make(map[int]bool, len(s.Sources))
+	members := s.memberSet()
+	for _, src := range s.Sources {
+		if src == s.Root {
+			return fmt.Errorf("sched: session %d lists root %d as an extra source", s.ID, src)
+		}
+		if !members[src] {
+			return fmt.Errorf("sched: session %d source %d is not a member", s.ID, src)
+		}
+		if seen[src] {
+			return fmt.Errorf("sched: session %d duplicate source %d", s.ID, src)
+		}
+		seen[src] = true
 	}
 	sc.sessions[s.ID] = s
 	sc.dirty[s.ID] = true
@@ -293,8 +408,9 @@ func (sc *Scheduler) AddMember(id SessionID, host int) error {
 }
 
 // RemoveMember shrinks a session's member set; the session replans on
-// the next Stabilize. Removing the root is not allowed (end the
-// session instead).
+// the next Stabilize. A member that was also a source loses its source
+// role (and its tree) with its membership. Removing the root is not
+// allowed (end the session instead).
 func (sc *Scheduler) RemoveMember(id SessionID, host int) error {
 	s, ok := sc.sessions[id]
 	if !ok {
@@ -306,11 +422,70 @@ func (sc *Scheduler) RemoveMember(id SessionID, host int) error {
 	for i, m := range s.Members {
 		if m == host {
 			s.Members = append(s.Members[:i], s.Members[i+1:]...)
+			dropSource(s, host)
 			sc.dirty[id] = true
 			return nil
 		}
 	}
 	return fmt.Errorf("sched: host %d not in session %d", host, id)
+}
+
+// dropSource removes host's source role (and its tree) if it has one.
+// The freed slots stay in the ledger until the session's next plan
+// releases and re-reserves; callers mark the session dirty.
+func dropSource(s *Session, host int) bool {
+	for i, v := range s.Sources {
+		if v == host {
+			s.Sources = append(s.Sources[:i], s.Sources[i+1:]...)
+			delete(s.SrcTrees, host)
+			return true
+		}
+	}
+	return false
+}
+
+// AddSource promotes an existing member to an additional source
+// (conferencing): it gets its own tree on the next Stabilize, sharing
+// the session's slot budget.
+func (sc *Scheduler) AddSource(id SessionID, host int) error {
+	s, ok := sc.sessions[id]
+	if !ok {
+		return fmt.Errorf("sched: unknown session %d", id)
+	}
+	if s.IsSource(host) {
+		return fmt.Errorf("sched: host %d is already a source of session %d", host, id)
+	}
+	isMember := false
+	for _, m := range s.Members {
+		if m == host {
+			isMember = true
+			break
+		}
+	}
+	if !isMember {
+		return fmt.Errorf("sched: host %d is not a member of session %d", host, id)
+	}
+	s.Sources = append(s.Sources, host)
+	sc.dirty[id] = true
+	return nil
+}
+
+// RemoveSource demotes an extra source back to a plain member; its tree
+// is dropped and the session replans to return the freed slots. The
+// Root's source role cannot be removed (end the session instead).
+func (sc *Scheduler) RemoveSource(id SessionID, host int) error {
+	s, ok := sc.sessions[id]
+	if !ok {
+		return fmt.Errorf("sched: unknown session %d", id)
+	}
+	if host == s.Root {
+		return fmt.Errorf("sched: cannot remove the root source of session %d", id)
+	}
+	if !dropSource(s, host) {
+		return fmt.Errorf("sched: host %d is not a source of session %d", host, id)
+	}
+	sc.dirty[id] = true
+	return nil
 }
 
 // Stabilize processes dirty sessions (highest priority first, then by
@@ -396,7 +571,18 @@ func (sc *Scheduler) nodeFailed(host int, ctx planCtx) []SessionID {
 				break
 			}
 		}
-		inTree := s.Tree != nil && s.Tree.Contains(host)
+		// A dead extra source's own tree dies with it; the host may
+		// still sit in the session's other trees, which repair below.
+		if dropSource(s, host) {
+			touched = true
+		}
+		inTree := false
+		for _, st := range s.Trees() {
+			if st.Tree != nil && st.Tree.Contains(host) {
+				inTree = true
+				break
+			}
+		}
 		if !touched && !inTree {
 			continue
 		}
@@ -404,16 +590,36 @@ func (sc *Scheduler) nodeFailed(host int, ctx planCtx) []SessionID {
 		s.Replans++
 		sc.tot.Replans++
 		sc.cReplans.Inc()
+		// One Release covers every (session, source) tree — the ledger
+		// holds a single merged allocation per (session, priority), so
+		// releasing once and re-reserving tree by tree below is what
+		// keeps a multi-tree repair from double-freeing slots.
 		sc.reg.Release(s.ID)
 		if inTree {
 			members := s.memberSet()
-			repaired := s.Tree.Clone()
-			_, err := alm.Repair(repaired, []int{host}, sc.lat, sc.availFor(s, members, ctx.guard))
-			if err == nil {
-				err = sc.reserveTree(s, repaired, members, ctx)
+			repaired := make(map[int]*alm.Tree, len(s.Sources)+1)
+			var err error
+			for _, st := range s.Trees() {
+				t := st.Tree
+				if t == nil {
+					err = fmt.Errorf("sched: source %d unplanned", st.Source)
+					break
+				}
+				if t.Contains(host) {
+					t = t.Clone()
+					if _, err = alm.Repair(t, []int{host}, sc.lat, sc.availFor(s, members, ctx.guard)); err != nil {
+						break
+					}
+				}
+				// Untouched trees still re-reserve: the Release above
+				// dropped their slots along with everything else.
+				if err = sc.reserveTree(s, t, members, ctx); err != nil {
+					break
+				}
+				repaired[st.Source] = t
 			}
 			if err == nil {
-				s.Tree = repaired
+				s.setTrees(repaired)
 				sc.tot.Repairs++
 				sc.cRepairs.Inc()
 				continue
@@ -506,6 +712,14 @@ func (sc *Scheduler) reserveTree(s *Session, tree *alm.Tree, members map[int]boo
 // planOne runs one session's task manager: release current holdings,
 // read availability from the degree tables, plan Leafset+adjust with
 // helpers, and reserve the new plan (preempting lower priority).
+//
+// Conferencing sessions plan one tree per source against the same slot
+// budget: each tree is reserved before the next is planned, and because
+// the registry counts a session's own same-priority holdings as firm,
+// later trees see availability already net of the earlier ones. Helpers
+// are recruited once per session — trees after the first plan against
+// the session's already-recruited helper set and only fall back to the
+// full candidate pool when that set cannot cover the members.
 func (sc *Scheduler) planOne(s *Session, ctx planCtx) error {
 	sc.reg.Release(s.ID)
 	members := s.memberSet()
@@ -515,7 +729,8 @@ func (sc *Scheduler) planOne(s *Session, ctx planCtx) error {
 	avail := sc.availFor(s, members, ctx.guard)
 
 	// Candidate helpers: everyone outside the session with enough
-	// obtainable fan-out.
+	// obtainable fan-out. Computed once per plan; per-attach avail()
+	// reads stay live as earlier trees consume slots.
 	candidates := make([]int, 0, sc.reg.NumHosts())
 	for h := 0; h < sc.reg.NumHosts(); h++ {
 		if members[h] {
@@ -526,29 +741,74 @@ func (sc *Scheduler) planOne(s *Session, ctx planCtx) error {
 		}
 	}
 
-	p := alm.Problem{
-		Root:    s.Root,
-		Members: append([]int(nil), s.Members...),
-		Latency: sc.lat,
-		Degree:  avail,
-	}
-	tree, err := alm.PlanWithHelpers(p, alm.HelperSet{
-		Candidates:   candidates,
+	hs := alm.HelperSet{
 		Radius:       sc.cfg.HelperRadius,
 		MinDegree:    sc.cfg.HelperMinDegree,
 		ScoreLatency: sc.cfg.ScoreLatency,
 		MetricScore:  sc.cfg.MetricScore,
-	})
-	if err != nil {
-		return err
 	}
-	alm.Adjust(tree, sc.lat, avail)
+	var recruited []int // helpers used by earlier trees, recruitment order
+	recruitedSet := make(map[int]bool)
+	trees := make(map[int]*alm.Tree, len(s.Sources)+1)
+	srcs := s.SourceList()
+	for idx, src := range srcs {
+		// Hold back one slot per member for every still-unplanned source
+		// tree: each member appears in each remaining tree with degree at
+		// least 1 (a parent link, or a child link at its own root), and a
+		// greedy plan that spends those slots as fan-out in early trees
+		// leaves later sources unplannable.
+		remaining := len(srcs) - idx - 1
+		treeAvail := avail
+		if remaining > 0 {
+			treeAvail = func(v int) int {
+				a := avail(v)
+				if members[v] {
+					a -= remaining
+				}
+				if a < 0 {
+					a = 0
+				}
+				return a
+			}
+		}
+		p := alm.Problem{
+			Root:    src,
+			Members: make([]int, 0, len(s.Members)),
+			Latency: sc.lat,
+			Degree:  treeAvail,
+		}
+		for _, m := range s.roster() {
+			if m != src {
+				p.Members = append(p.Members, m)
+			}
+		}
+		var tree *alm.Tree
+		if len(recruited) > 0 {
+			hs.Candidates = recruited
+			tree, _ = alm.PlanWithHelpers(p, hs)
+		}
+		if tree == nil {
+			hs.Candidates = candidates
+			var err error
+			if tree, err = alm.PlanWithHelpers(p, hs); err != nil {
+				return err
+			}
+		}
+		alm.Adjust(tree, sc.lat, treeAvail)
 
-	// Reserve the plan's slots; preempted sessions must replan.
-	if err := sc.reserveTree(s, tree, members, ctx); err != nil {
-		return err
+		// Reserve the plan's slots; preempted sessions must replan.
+		if err := sc.reserveTree(s, tree, members, ctx); err != nil {
+			return err
+		}
+		trees[src] = tree
+		for _, v := range tree.Nodes() {
+			if !members[v] && !recruitedSet[v] {
+				recruitedSet[v] = true
+				recruited = append(recruited, v)
+			}
+		}
 	}
-	s.Tree = tree
+	s.setTrees(trees)
 	sc.tot.Plans++
 	sc.cPlans.Inc()
 	return nil

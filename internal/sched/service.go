@@ -146,7 +146,17 @@ func (c ServiceConfig) withDefaults() ServiceConfig {
 		c.PreemptBurst = 32
 	}
 	if c.HoldDown == 0 {
-		c.HoldDown = 2 * eventsim.Second
+		// Like the backoff defaults above, the 2 s hold-down is tuned to
+		// the default deadline ladder: it spans the top class's whole 2 s
+		// SLO window. A harness that compresses the deadlines without
+		// overriding HoldDown would otherwise protect victims for several
+		// full SLO windows and starve preemptors that still had time —
+		// the same uncoupled-default gotcha PR 8 fixed for BackoffBase/Max
+		// — so the default scales by the same factor.
+		c.HoldDown = eventsim.Time(float64(2*eventsim.Second) * backoffScale)
+		if c.HoldDown < eventsim.Millisecond {
+			c.HoldDown = eventsim.Millisecond
+		}
 	}
 	if c.MaxShedPerTick <= 0 {
 		c.MaxShedPerTick = 64
@@ -390,6 +400,7 @@ func (sv *Service) NodeFailed(now eventsim.Time, host int) []SessionID {
 		for i, m := range e.s.Members {
 			if m == host {
 				e.s.Members = append(e.s.Members[:i], e.s.Members[i+1:]...)
+				dropSource(e.s, host)
 				break
 			}
 		}
@@ -419,6 +430,18 @@ func (sv *Service) NodeRecovered(now eventsim.Time, host int) bool {
 // replans at the next Tick.
 func (sv *Service) AddMember(id SessionID, host int) error {
 	return sv.sc.AddMember(id, host)
+}
+
+// AddSource promotes a live session's member to an additional source
+// (conference join); the session replans at the next Tick.
+func (sv *Service) AddSource(id SessionID, host int) error {
+	return sv.sc.AddSource(id, host)
+}
+
+// RemoveSource demotes a live session's extra source back to a plain
+// member; the session replans at the next Tick.
+func (sv *Service) RemoveSource(id SessionID, host int) error {
+	return sv.sc.RemoveSource(id, host)
 }
 
 // refill tops up the preemption token bucket for elapsed virtual time.

@@ -276,6 +276,45 @@ func TestServiceBackoffRescalesWithDeadlines(t *testing.T) {
 	}
 }
 
+// TestServiceHoldDownRescalesWithDeadlines pins the second withDefaults
+// coupling fix: the 2 s hold-down default spans the default top class's
+// whole 2 s SLO window, so a config that compresses the admit deadlines
+// (8x here: 250 ms / 500 ms / 1 s) but leaves HoldDown unset must get
+// it compressed by the same factor. Pre-fix a preemption victim stayed
+// protected for 2 s — two full bottom-class SLO windows — so any
+// preemptor contending for the victim's slots was deferred until its
+// own deadline had blown.
+func TestServiceHoldDownRescalesWithDeadlines(t *testing.T) {
+	cfg := ServiceConfig{
+		PreemptRate:   -1,
+		BackoffJitter: -1, // HoldDown itself left unset: the subject
+	}
+	for p := 1; p <= NumClasses; p++ {
+		cfg.Classes[p].AdmitDeadline = eventsim.Time(uint(1)<<uint(p)) * eventsim.Second / 8
+	}
+	sv := NewService([]int{4, 4}, lineLat, cfg)
+	if want := 250 * eventsim.Millisecond; sv.cfg.HoldDown != want {
+		t.Fatalf("HoldDown default = %v with 8x-compressed deadlines, want %v", sv.cfg.HoldDown, want)
+	}
+
+	// Arm a victim's hold-down at t=0, then retry at 500 ms — well past
+	// the scaled hold-down but a quarter of the unscaled 2 s default,
+	// and still inside the bottom class's 1 s SLO window.
+	gs := &guardState{}
+	ctx := sv.planContextState(0, gs)
+	ctx.onPreempt(7, 3)
+	late := sv.planContextState(500*eventsim.Millisecond, &guardState{})
+	if !late.guard(7) {
+		t.Fatal("victim still held down two SLO windows after the preemption: HoldDown not rescaled with deadlines")
+	}
+
+	// An explicit override must still win over the scaling.
+	cfg.HoldDown = 5 * eventsim.Second
+	if got := NewService([]int{4, 4}, lineLat, cfg).cfg.HoldDown; got != 5*eventsim.Second {
+		t.Fatalf("explicit HoldDown overridden to %v", got)
+	}
+}
+
 // TestServiceDampingGuard unit-tests the token bucket and hold-down
 // through the planContext the service hands the scheduler.
 func TestServiceDampingGuard(t *testing.T) {
